@@ -1,0 +1,110 @@
+// Command accuracy regenerates Table 1 of the paper: the fraction of
+// ExtractMax calls returning a key within the top-k of the prefilled queue,
+// for ZMSQ across batch sizes, SprayList across thread counts, and the FIFO
+// floor.
+//
+//	accuracy -size 1k    # Table 1a: 1K-element queue, extract 10% and 50%
+//	accuracy -size 64k   # Table 1b: 64K-element queue, extract 0.1%, 1%, 10%
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/pq"
+	"repro/internal/spray"
+)
+
+func main() {
+	var (
+		size   = flag.String("size", "1k", "queue size: 1k or 64k")
+		trials = flag.Int("trials", 5, "trials to average per cell")
+		seed   = flag.Uint64("seed", 1, "base seed")
+		rank   = flag.Bool("rank", false, "report full rank-error distributions instead of Table 1 hit rates")
+	)
+	flag.Parse()
+
+	var queueSize int
+	var extracts []int
+	switch *size {
+	case "1k":
+		queueSize = 1024
+		extracts = []int{102, 512} // 10%, 50%
+	case "64k":
+		queueSize = 65536
+		extracts = []int{65, 655, 6553} // 0.1%, 1%, 10%
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -size %q\n", *size)
+		os.Exit(2)
+	}
+
+	if *rank {
+		runRankMode(queueSize, extracts[len(extracts)-1], *seed)
+		return
+	}
+
+	fmt.Printf("# Table 1 (%s queue): %% of extractions within top-k, averaged over %d trials\n", *size, *trials)
+	fmt.Printf("%-18s", "queue")
+	for _, e := range extracts {
+		fmt.Printf("  top-%-6d", e)
+	}
+	fmt.Println()
+
+	row := func(name string, mk harness.QueueMaker, threads int) {
+		fmt.Printf("%-18s", name)
+		for _, e := range extracts {
+			total := 0.0
+			for trial := 0; trial < *trials; trial++ {
+				res := harness.RunAccuracy(mk, threads,
+					harness.AccuracySpec{QueueSize: queueSize, Extracts: e, Seed: *seed + uint64(trial)*977})
+				total += res.HitRate()
+			}
+			fmt.Printf("  %8.1f%%", 100*total/float64(*trials))
+		}
+		fmt.Println()
+	}
+
+	// ZMSQ: targetLen=64, batch varies (accuracy depends only on batch for
+	// batch <= targetLen, §4.3).
+	for _, batch := range []int{2, 4, 8, 16, 32, 64} {
+		batch := batch
+		mk := func(int) pq.Queue {
+			return harness.NewZMSQ(core.Config{Batch: batch, TargetLen: 64})
+		}
+		row(fmt.Sprintf("zmsq(batch=%d)", batch), mk, 1)
+	}
+	// SprayList: accuracy depends on the configured thread count.
+	for _, p := range []int{1, 8, 32, 64} {
+		p := p
+		mk := func(int) pq.Queue { return spray.New(p) }
+		row(fmt.Sprintf("spray(p=%d)", p), mk, p)
+	}
+	// FIFO floor.
+	row("fifo", func(int) pq.Queue { return pq.NewFIFO() }, 1)
+}
+
+// runRankMode prints the full rank-error distribution per queue: mean,
+// median, p99 and worst observed rank of extracted keys, plus the rate at
+// which the true maximum was returned. ZMSQ's §3.7 guarantee shows up as
+// maxRate >= 1/(batch+1).
+func runRankMode(queueSize, extracts int, seed uint64) {
+	fmt.Printf("# rank-error distributions: queue=%d extracts=%d\n", queueSize, extracts)
+	spec := harness.AccuracySpec{QueueSize: queueSize, Extracts: extracts, Seed: seed}
+	row := func(name string, mk harness.QueueMaker, threads int) {
+		sum, _ := harness.RunRankAccuracy(mk, threads, spec)
+		fmt.Printf("%-18s %v\n", name, sum)
+	}
+	for _, batch := range []int{2, 8, 32, 64} {
+		batch := batch
+		row(fmt.Sprintf("zmsq(batch=%d)", batch),
+			func(int) pq.Queue { return harness.NewZMSQ(core.Config{Batch: batch, TargetLen: 64}) }, 1)
+	}
+	for _, p := range []int{1, 8, 32, 64} {
+		p := p
+		row(fmt.Sprintf("spray(p=%d)", p), func(int) pq.Queue { return spray.New(p) }, p)
+	}
+	row("fifo", func(int) pq.Queue { return pq.NewFIFO() }, 1)
+}

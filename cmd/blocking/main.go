@@ -1,0 +1,56 @@
+// Command blocking regenerates Figure 4: producer/consumer handoff latency
+// (4a) and CPU time (4b) for spinning vs blocking consumers, sweeping the
+// consumer count with a fixed number of producers.
+//
+//	blocking -producers 4 -consumers 2,4,8,16,32,64,128,256 -items 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		producers = flag.Int("producers", 4, "producer goroutines (paper: 2, 4, 8)")
+		consCSV   = flag.String("consumers", "2,4,8,16,32,64,128,256", "consumer counts")
+		items     = flag.Int("items", 1_000_000, "total handoffs")
+		batch     = flag.Int("batch", 32, "ZMSQ batch (paper uses 32 here)")
+		seed      = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	var consumers []int
+	for _, part := range strings.Split(*consCSV, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || c < 1 {
+			fmt.Fprintf(os.Stderr, "bad consumer count %q\n", part)
+			os.Exit(2)
+		}
+		consumers = append(consumers, c)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Batch = *batch
+
+	fmt.Printf("# Figure 4: %d producers, %d handoffs, batch=%d\n", *producers, *items, *batch)
+	fmt.Printf("%-6s %-6s %-14s %-12s %-12s %-10s\n",
+		"mode", "cons", "elapsed", "ns/handoff", "meanLatency", "cpu-sec")
+	for _, c := range consumers {
+		for _, blocking := range []bool{false, true} {
+			res := harness.RunHandoffZMSQ(cfg, blocking, harness.HandoffSpec{
+				Producers: *producers, Consumers: c, TotalItems: *items, Seed: *seed,
+			})
+			fmt.Printf("%-6s %-6d %-14v %-12.1f %-12v %-10.2f\n",
+				res.Mode, c, res.Elapsed,
+				float64(res.Elapsed.Nanoseconds())/float64(*items),
+				res.MeanLatency, res.CPUSeconds)
+		}
+	}
+}

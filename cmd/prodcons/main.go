@@ -1,0 +1,65 @@
+// Command prodcons regenerates Figure 6: the time to transfer a fixed
+// number of items from dedicated producers to dedicated consumers, across
+// producer:consumer ratios and queue implementations (blocking disabled,
+// since SprayList cannot block).
+//
+//	prodcons -items 1000000 -ratios 1:1,1:2,1:4,2:1 -threads 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		items     = flag.Int("items", 1_000_000, "items to transfer")
+		ratiosCSV = flag.String("ratios", "1:1,1:2,1:4,2:1", "producer:consumer ratios")
+		threads   = flag.Int("threads", 8, "total goroutines per run (split by ratio)")
+		seed      = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	type ratio struct{ p, c int }
+	var ratios []ratio
+	for _, part := range strings.Split(*ratiosCSV, ",") {
+		pc := strings.Split(strings.TrimSpace(part), ":")
+		if len(pc) != 2 {
+			fmt.Fprintf(os.Stderr, "bad ratio %q\n", part)
+			os.Exit(2)
+		}
+		p, err1 := strconv.Atoi(pc[0])
+		c, err2 := strconv.Atoi(pc[1])
+		if err1 != nil || err2 != nil || p < 1 || c < 1 {
+			fmt.Fprintf(os.Stderr, "bad ratio %q\n", part)
+			os.Exit(2)
+		}
+		ratios = append(ratios, ratio{p, c})
+	}
+
+	queues := []string{"zmsq", "mound", "spraylist"}
+	makers := harness.Makers()
+
+	fmt.Printf("# Figure 6: transfer %d items, producer:consumer ratios\n", *items)
+	fmt.Printf("%-12s %-8s %-6s %-6s %-14s %-12s\n", "queue", "ratio", "prod", "cons", "elapsed", "meanLatency")
+	for _, rt := range ratios {
+		unit := rt.p + rt.c
+		scale := *threads / unit
+		if scale < 1 {
+			scale = 1
+		}
+		p, c := rt.p*scale, rt.c*scale
+		for _, qn := range queues {
+			res := harness.RunHandoff(makers[qn], harness.HandoffSpec{
+				Producers: p, Consumers: c, TotalItems: *items, Seed: *seed,
+			})
+			fmt.Printf("%-12s %-8s %-6d %-6d %-14v %-12v\n",
+				qn, fmt.Sprintf("%d:%d", rt.p, rt.c), p, c, res.Elapsed, res.MeanLatency)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Command runall executes the complete reproduction suite — every table
+// and figure — writing aligned-text reports and a combined CSV under a
+// results directory. It is the one-command path from a fresh checkout to
+// the data behind EXPERIMENTS.md.
+//
+//	runall -out results -scale small   # minutes; shapes only
+//	runall -out results -scale full    # the paper's operation counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/locks"
+	"repro/internal/mound"
+	"repro/internal/pq"
+	"repro/internal/spray"
+	"repro/internal/sssp"
+)
+
+type scale struct {
+	ops      int
+	handoffs int
+	trials   int
+	ljScale  int
+	artist   bool
+}
+
+var scales = map[string]scale{
+	"small": {ops: 200_000, handoffs: 100_000, trials: 3, ljScale: 14, artist: false},
+	"full":  {ops: 2_000_000, handoffs: 1_000_000, trials: 15, ljScale: 18, artist: true},
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "results", "output directory")
+		scaleName = flag.String("scale", "small", "small|full")
+		seed      = flag.Uint64("seed", 1, "base seed")
+	)
+	flag.Parse()
+	sc, ok := scales[*scaleName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	rec := &harness.Recorder{}
+	threads := threadSweep()
+
+	step("table1", func() { runTable1(rec, sc, *seed) })
+	step("fig2+3+5", func() { runThroughputFigs(rec, sc, threads, *seed) })
+	step("fig4", func() { runFig4(rec, sc, *seed) })
+	step("fig6", func() { runFig6(rec, sc, *seed) })
+	step("fig7+8", func() { runSSSP(rec, sc, threads, *seed, *out) })
+
+	txt, err := os.Create(filepath.Join(*out, "runall.txt"))
+	if err == nil {
+		err = rec.WriteText(txt)
+		txt.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "write text:", err)
+		os.Exit(1)
+	}
+	csvf, err := os.Create(filepath.Join(*out, "runall.csv"))
+	if err == nil {
+		err = rec.WriteCSV(csvf)
+		csvf.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "write csv:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d rows to %s/runall.{txt,csv}\n", len(rec.Rows()), *out)
+}
+
+func step(name string, f func()) {
+	fmt.Printf("== %s\n", name)
+	f()
+}
+
+func threadSweep() []int {
+	max := runtime.GOMAXPROCS(0)
+	sweep := []int{1}
+	for t := 2; t <= max*2 && t <= 16; t *= 2 {
+		sweep = append(sweep, t)
+	}
+	return sweep
+}
+
+func runTable1(rec *harness.Recorder, sc scale, seed uint64) {
+	type cell struct {
+		name    string
+		mk      harness.QueueMaker
+		threads int
+	}
+	var cells []cell
+	for _, batch := range []int{2, 4, 8, 16, 32, 64} {
+		batch := batch
+		cells = append(cells, cell{
+			fmt.Sprintf("zmsq(batch=%d)", batch),
+			func(int) pq.Queue { return harness.NewZMSQ(core.Config{Batch: batch, TargetLen: 64}) },
+			1,
+		})
+	}
+	for _, p := range []int{1, 8, 32, 64} {
+		p := p
+		cells = append(cells, cell{fmt.Sprintf("spray(p=%d)", p),
+			func(int) pq.Queue { return spray.New(p) }, p})
+	}
+	cells = append(cells, cell{"fifo", func(int) pq.Queue { return pq.NewFIFO() }, 1})
+
+	specs := []harness.AccuracySpec{
+		{QueueSize: 1024, Extracts: 102},
+		{QueueSize: 1024, Extracts: 512},
+		{QueueSize: 65536, Extracts: 65},
+		{QueueSize: 65536, Extracts: 655},
+		{QueueSize: 65536, Extracts: 6553},
+	}
+	for _, spec := range specs {
+		for _, c := range cells {
+			hits, failures := 0.0, 0.0
+			for trial := 0; trial < sc.trials; trial++ {
+				spec.Seed = seed + uint64(trial)*977
+				res := harness.RunAccuracy(c.mk, c.threads, spec)
+				hits += res.HitRate()
+				failures += float64(res.Failures)
+			}
+			avg := harness.AccuracyResult{
+				Spec:  spec,
+				Queue: c.name,
+				Hits:  int(hits / float64(sc.trials) * float64(spec.Extracts)),
+			}
+			rec.AddAccuracy("table1", avg)
+			_ = failures
+		}
+	}
+}
+
+// tcell is one throughput-figure curve: a display name plus a queue
+// constructor parameterized by thread count.
+type tcell struct {
+	name string
+	mk   func(t int) pq.Queue
+}
+
+func runThroughputFigs(rec *harness.Recorder, sc scale, threads []int, seed uint64) {
+	zmsqCfg := func(cfg core.Config) func(int) pq.Queue {
+		return func(int) pq.Queue { return harness.NewZMSQ(cfg) }
+	}
+	figs := []struct {
+		id      string
+		mix     harness.Mix
+		prefill bool
+		cells   []tcell
+	}{
+		{"fig2a", 100, false, []tcell{
+			{"std", zmsqCfg(core.Config{Batch: 32, TargetLen: 32, Lock: locks.Std, NoTryLock: true})},
+			{"tas", zmsqCfg(core.Config{Batch: 32, TargetLen: 32, Lock: locks.TAS})},
+			{"tatas", zmsqCfg(core.Config{Batch: 32, TargetLen: 32, Lock: locks.TATAS})},
+		}},
+		{"fig2b", 50, true, []tcell{
+			{"std", zmsqCfg(core.Config{Batch: 32, TargetLen: 32, Lock: locks.Std, NoTryLock: true})},
+			{"tas", zmsqCfg(core.Config{Batch: 32, TargetLen: 32, Lock: locks.TAS})},
+			{"tatas", zmsqCfg(core.Config{Batch: 32, TargetLen: 32, Lock: locks.TATAS})},
+		}},
+		{"fig3b", 50, true, []tcell{
+			{"dyn1:1.5", func(t int) pq.Queue {
+				return harness.NewZMSQ(core.Config{Batch: t, TargetLen: t * 3 / 2})
+			}},
+			{"static32", zmsqCfg(core.Config{Batch: 32, TargetLen: 32})},
+			{"static64", zmsqCfg(core.Config{Batch: 64, TargetLen: 64})},
+			{"mound", func(int) pq.Queue { return mound.New() }},
+		}},
+		{"fig5a", 100, false, fig5Cells(zmsqCfg)},
+		{"fig5b", 66, false, fig5Cells(zmsqCfg)},
+		{"fig5c", 50, false, fig5Cells(zmsqCfg)},
+	}
+	for _, fig := range figs {
+		for _, t := range threads {
+			for _, c := range fig.cells {
+				prefill := 0
+				if fig.prefill {
+					prefill = sc.ops
+				}
+				res := harness.RunThroughput(func(int) pq.Queue { return c.mk(t) },
+					harness.ThroughputSpec{
+						Threads: t, TotalOps: sc.ops, InsertPct: fig.mix,
+						Keys: harness.Normal20, Prefill: prefill, Seed: seed,
+					})
+				res.Queue = c.name
+				rec.AddThroughput(fig.id, res)
+			}
+		}
+	}
+}
+
+func fig5Cells(zmsqCfg func(core.Config) func(int) pq.Queue) []tcell {
+	base := core.DefaultConfig()
+	arr := base
+	arr.ArraySet = true
+	leak := base
+	leak.Leaky = true
+	return []tcell{
+		{"zmsq", zmsqCfg(base)},
+		{"zmsq(array)", zmsqCfg(arr)},
+		{"zmsq(leak)", zmsqCfg(leak)},
+		{"mound", func(int) pq.Queue { return mound.New() }},
+		{"spraylist", func(p int) pq.Queue { return spray.New(p) }},
+	}
+}
+
+func runFig4(rec *harness.Recorder, sc scale, seed uint64) {
+	cfg := core.DefaultConfig()
+	cfg.Batch = 32
+	for _, consumers := range []int{2, 8, 32, 64, 128} {
+		for _, blocking := range []bool{false, true} {
+			res := harness.RunHandoffZMSQ(cfg, blocking, harness.HandoffSpec{
+				Producers: 4, Consumers: consumers, TotalItems: sc.handoffs, Seed: seed,
+			})
+			rec.AddHandoff("fig4", res)
+		}
+	}
+}
+
+func runFig6(rec *harness.Recorder, sc scale, seed uint64) {
+	makers := harness.Makers()
+	for _, qn := range []string{"zmsq", "mound", "spraylist"} {
+		for _, rt := range [][2]int{{4, 4}, {2, 4}, {1, 4}, {4, 2}} {
+			res := harness.RunHandoff(makers[qn], harness.HandoffSpec{
+				Producers: rt[0], Consumers: rt[1], TotalItems: sc.handoffs, Seed: seed,
+			})
+			rec.AddHandoff("fig6", res)
+		}
+	}
+}
+
+func runSSSP(rec *harness.Recorder, sc scale, threads []int, seed uint64, out string) {
+	graphs := map[string]*graph.Graph{
+		"politician":  graph.Politician(seed),
+		"livejournal": graph.LiveJournalScaled(sc.ljScale, seed),
+	}
+	if sc.artist {
+		graphs["artist"] = graph.Artist(seed)
+	}
+	cells := map[string]harness.QueueMaker{
+		"zmsq(42,64)": func(int) pq.Queue {
+			return harness.NewZMSQ(core.Config{Batch: 42, TargetLen: 64})
+		},
+		"mound":     harness.Makers()["mound"],
+		"spraylist": harness.Makers()["spraylist"],
+	}
+	f, err := os.Create(filepath.Join(out, "sssp.txt"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	for gname, g := range graphs {
+		oracle := graph.Dijkstra(g, 0)
+		for _, t := range threads {
+			for cname, mk := range cells {
+				res := sssp.Run(g, 0, mk(t), t)
+				okStr := "ok"
+				for i := range oracle {
+					if res.Dist[i] != oracle[i] {
+						okStr = "WRONG"
+						break
+					}
+				}
+				fmt.Fprintf(f, "%-12s %-14s workers=%-3d elapsed=%-14v wasted=%.2f%% %s\n",
+					gname, cname, t, res.Elapsed, 100*res.WastedFraction(), okStr)
+			}
+			ds := sssp.DeltaStepping(g, 0, 0, t)
+			fmt.Fprintf(f, "%-12s %-14s workers=%-3d elapsed=%-14v wasted=%.2f%% -\n",
+				gname, "delta-stepping", t, ds.Elapsed, 100*ds.WastedFraction())
+		}
+	}
+}

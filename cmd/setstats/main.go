@@ -1,0 +1,63 @@
+// Command setstats reproduces the §3.2 set-stability experiment: prefill a
+// ZMSQ with 1M elements at targetLen=32, run 8M insert/extractMax pairs,
+// and report the distribution of set sizes across non-leaf TNodes. The
+// paper reports an average count of 32 with standard deviation 2.76.
+//
+//	setstats -prefill 1000000 -pairs 8000000 -targetlen 32
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/xrand"
+)
+
+func main() {
+	var (
+		prefill   = flag.Int("prefill", 1_000_000, "initial elements")
+		pairs     = flag.Int("pairs", 8_000_000, "insert/extract pairs")
+		targetLen = flag.Int("targetlen", 32, "targetLen (paper: 32)")
+		batch     = flag.Int("batch", 32, "batch")
+		seed      = flag.Uint64("seed", 1, "seed")
+		helper    = flag.Bool("helper", false, "enable the §5 helper goroutine and report its effect")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Batch = *batch
+	cfg.TargetLen = *targetLen
+	cfg.Helper = *helper
+	q := core.New[struct{}](cfg)
+	defer q.Close()
+
+	r := xrand.New(*seed)
+	draw := func() uint64 { return harness.Normal20.Draw(r) }
+
+	for i := 0; i < *prefill; i++ {
+		q.Insert(draw(), struct{}{})
+	}
+	after := q.Stats()
+	fmt.Printf("# after prefill (%d elements):\n", *prefill)
+	report(after)
+
+	for i := 0; i < *pairs; i++ {
+		q.Insert(draw(), struct{}{})
+		q.TryExtractMax()
+	}
+	final := q.Stats()
+	fmt.Printf("# after %d insert/extract pairs (paper: mean 32, stddev 2.76):\n", *pairs)
+	report(final)
+	if *helper {
+		fmt.Printf("# helper moves: %d\n", q.HelperMoves())
+	}
+}
+
+func report(st core.TreeStats) {
+	fmt.Printf("  leafLevel=%d nodes=%d elements=%d pool=%d\n",
+		st.LeafLevel, st.Nodes, st.Elements, st.PoolRemaining)
+	fmt.Printf("  non-leaf set sizes: %v\n", st.NonLeafSets)
+	fmt.Printf("  all set sizes:      %v\n", st.AllSets)
+}

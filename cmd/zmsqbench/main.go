@@ -1,0 +1,202 @@
+// Command zmsqbench regenerates the paper's throughput figures:
+//
+//	Figure 2 (a,b): lock implementations (std / TAS / TATAS trylocks)
+//	Figure 3 (a,b): batch & targetLen configurations vs the mound
+//	Figure 5 (a,b,c): ZMSQ variants vs SprayList vs mound
+//
+// Each experiment prints one row per (queue, thread-count) cell:
+//
+//	zmsqbench -experiment fig5c -threads 1,2,4,8 -ops 2000000
+//
+// Absolute numbers are machine-dependent; the curve shapes (who wins,
+// where scaling bends) are what EXPERIMENTS.md compares against the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/locks"
+	"repro/internal/mound"
+	"repro/internal/pq"
+	"repro/internal/spray"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "fig5c", "fig2a|fig2b|fig3a|fig3b|fig5a|fig5b|fig5c")
+		threadsCSV = flag.String("threads", defaultThreads(), "comma-separated thread counts")
+		ops        = flag.Int("ops", 1_000_000, "total operations per cell")
+		keybits    = flag.Int("keybits", 20, "key width in bits: 20 or 7 (§4.5.1)")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	threads, err := parseThreads(*threadsCSV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bad -threads:", err)
+		os.Exit(2)
+	}
+	keys := harness.Uniform20
+	if *keybits == 7 {
+		keys = harness.Uniform7
+	}
+
+	switch *experiment {
+	case "fig2a", "fig2b":
+		runFig2(*experiment, threads, *ops, *seed)
+	case "fig3a", "fig3b":
+		runFig3(*experiment, threads, *ops, *seed)
+	case "fig5a", "fig5b", "fig5c":
+		runFig5(*experiment, threads, *ops, keys, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func defaultThreads() string {
+	max := runtime.GOMAXPROCS(0)
+	var parts []string
+	for t := 1; t <= max; t *= 2 {
+		parts = append(parts, strconv.Itoa(t))
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseThreads(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		t, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || t < 1 {
+			return nil, fmt.Errorf("invalid thread count %q", part)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// runFig2 compares lock implementations on a batch=32, targetLen=32 ZMSQ
+// (§4.1): fig2a is 100% inserts from empty with normal keys; fig2b is a
+// 50/50 mix on a prefilled queue.
+func runFig2(which string, threads []int, ops int, seed uint64) {
+	mix, prefill := harness.Mix(100), 0
+	if which == "fig2b" {
+		mix, prefill = 50, ops
+	}
+	fmt.Printf("# Figure 2%s: lock implementations, %d%% inserts, %d ops\n", which[4:], int(mix), ops)
+	cells := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"std::mutex", core.Config{Batch: 32, TargetLen: 32, Lock: locks.Std, NoTryLock: true}},
+		{"tas-trylock", core.Config{Batch: 32, TargetLen: 32, Lock: locks.TAS}},
+		{"tatas-trylock", core.Config{Batch: 32, TargetLen: 32, Lock: locks.TATAS}},
+	}
+	for _, t := range threads {
+		for _, cell := range cells {
+			cfg := cell.cfg
+			mk := func(int) pq.Queue { return harness.NewZMSQ(cfg) }
+			res := harness.RunThroughput(mk, harness.ThroughputSpec{
+				Threads: t, TotalOps: ops, InsertPct: mix,
+				Keys: harness.Normal20, Prefill: prefill, Seed: seed,
+			})
+			fmt.Printf("%-14s threads=%-3d Mops/s=%.3f\n", cell.name, t, res.OpsPerSec()/1e6)
+		}
+	}
+}
+
+// runFig3 sweeps batch/targetLen configurations (§4.2): dynamic ratios
+// scale with the thread count; static configurations are fixed. The mound
+// is the reference curve.
+func runFig3(which string, threads []int, ops int, seed uint64) {
+	mix, prefill := harness.Mix(100), 0
+	if which == "fig3b" {
+		mix, prefill = 50, ops
+	}
+	fmt.Printf("# Figure 3%s: batch/targetLen configurations, %d%% inserts, %d ops\n", which[4:], int(mix), ops)
+	type cfgFn struct {
+		name string
+		mk   func(t int) pq.Queue
+	}
+	dynamic := func(name string, batchOf, targetOf func(t int) int) cfgFn {
+		return cfgFn{name, func(t int) pq.Queue {
+			return harness.NewZMSQ(core.Config{
+				Batch: batchOf(t), TargetLen: targetOf(t), Lock: locks.TATAS,
+			})
+		}}
+	}
+	static := func(n int) cfgFn {
+		return cfgFn{fmt.Sprintf("static(%d,%d)", n, n), func(int) pq.Queue {
+			return harness.NewZMSQ(core.Config{Batch: n, TargetLen: n, Lock: locks.TATAS})
+		}}
+	}
+	cells := []cfgFn{
+		dynamic("dynamic(1:1)", func(t int) int { return t }, func(t int) int { return t }),
+		dynamic("dynamic(1:1.5)", func(t int) int { return t }, func(t int) int { return t * 3 / 2 }),
+		dynamic("dynamic(1:2)", func(t int) int { return t }, func(t int) int { return 2 * t }),
+		dynamic("dynamic(2:1)", func(t int) int { return 2 * t }, func(t int) int { return t }),
+		static(32), static(64), static(96),
+		{"mound", func(int) pq.Queue { return mound.New() }},
+	}
+	for _, t := range threads {
+		for _, cell := range cells {
+			res := harness.RunThroughput(func(int) pq.Queue { return cell.mk(t) }, harness.ThroughputSpec{
+				Threads: t, TotalOps: ops, InsertPct: mix,
+				Keys: harness.Normal20, Prefill: prefill, Seed: seed,
+			})
+			fmt.Printf("%-16s threads=%-3d Mops/s=%.3f\n", cell.name, t, res.OpsPerSec()/1e6)
+		}
+	}
+}
+
+// runFig5 compares ZMSQ (list, array, leak) against SprayList and mound at
+// the recommended batch=48, targetLen=72 (§4.5.1): 100% / 66% / 50%
+// inserts.
+func runFig5(which string, threads []int, ops int, keys harness.KeyDist, seed uint64) {
+	var mix harness.Mix
+	switch which {
+	case "fig5a":
+		mix = 100
+	case "fig5b":
+		mix = 66
+	default:
+		mix = 50
+	}
+	fmt.Printf("# Figure 5%s: %d%% inserts, %d ops, keys=%v\n", which[4:], int(mix), ops, keys)
+	zmsq := func(mod func(*core.Config)) func(int) pq.Queue {
+		return func(int) pq.Queue {
+			cfg := core.DefaultConfig()
+			if mod != nil {
+				mod(&cfg)
+			}
+			return harness.NewZMSQ(cfg)
+		}
+	}
+	cells := []struct {
+		name string
+		mk   harness.QueueMaker
+	}{
+		{"zmsq", zmsq(nil)},
+		{"zmsq(array)", zmsq(func(c *core.Config) { c.ArraySet = true })},
+		{"zmsq(leak)", zmsq(func(c *core.Config) { c.Leaky = true })},
+		{"mound", func(int) pq.Queue { return mound.New() }},
+		{"spraylist", func(p int) pq.Queue { return spray.New(p) }},
+	}
+	for _, t := range threads {
+		for _, cell := range cells {
+			res := harness.RunThroughput(cell.mk, harness.ThroughputSpec{
+				Threads: t, TotalOps: ops, InsertPct: mix,
+				Keys: keys, Seed: seed,
+			})
+			fmt.Printf("%-14s threads=%-3d Mops/s=%.3f failedExtract=%d\n",
+				cell.name, t, res.OpsPerSec()/1e6, res.FailedExt)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Eventsim: a discrete-event simulation driven by the priority queue —
+// the canonical application where relaxation is NOT acceptable. A DES must
+// process events in nondecreasing timestamp order or causality breaks, so
+// it needs the strict queue (batch = 0); running the same simulation on a
+// relaxed queue quantifies how many causality violations the relaxation
+// would inject. This example is the counterpoint to examples/sssp, where
+// out-of-order processing merely wastes a little work.
+//
+// The model is a small open queueing network: jobs arrive at a dispatcher,
+// visit one of three service stations (exponential-ish service times), and
+// leave. We measure the event order violations under each queue mode.
+//
+//	go run ./examples/eventsim
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/xrand"
+)
+
+type event struct {
+	time    uint64 // simulation time in microseconds
+	station int
+	kind    string
+}
+
+// key inverts the timestamp: a DES wants the EARLIEST event, and the queue
+// returns the largest key.
+func key(t uint64) uint64 { return ^t }
+
+func run(cfg repro.Config, label string) {
+	q := repro.New[event](cfg)
+	r := xrand.New(42)
+
+	// Seed arrivals.
+	const jobs = 20000
+	t := uint64(0)
+	for i := 0; i < jobs; i++ {
+		t += 1 + r.Uint64n(50) // interarrival
+		q.Insert(key(t), event{time: t, kind: "arrival"})
+	}
+
+	var (
+		processed  int
+		inversions int // event earlier than the immediately preceding one
+		stale      int // event earlier than the latest time already seen
+		prevTime   uint64
+		highTime   uint64
+		maxSkew    uint64
+		busyUntil  [3]uint64
+	)
+	for {
+		_, ev, ok := q.TryExtractMax()
+		if !ok {
+			break
+		}
+		processed++
+		if ev.time < prevTime {
+			inversions++
+		}
+		prevTime = ev.time
+		if ev.time < highTime {
+			stale++
+			if skew := highTime - ev.time; skew > maxSkew {
+				maxSkew = skew
+			}
+		} else {
+			highTime = ev.time
+		}
+		switch ev.kind {
+		case "arrival":
+			// Dispatch to the least-loaded station; service completes
+			// after a random service time.
+			st := 0
+			for s := 1; s < 3; s++ {
+				if busyUntil[s] < busyUntil[st] {
+					st = s
+				}
+			}
+			start := ev.time
+			if busyUntil[st] > start {
+				start = busyUntil[st]
+			}
+			done := start + 10 + r.Uint64n(120)
+			busyUntil[st] = done
+			q.Insert(key(done), event{time: done, station: st, kind: "departure"})
+		case "departure":
+			// Job leaves the system.
+		}
+	}
+	fmt.Printf("%-22s events=%-6d inversions=%-6d stale=%-6d worst skew=%dµs\n",
+		label, processed, inversions, stale, maxSkew)
+}
+
+func main() {
+	cfgStrict := repro.DefaultConfig()
+	cfgStrict.Batch = 0
+	run(cfgStrict, "strict (batch=0)")
+
+	for _, batch := range []int{8, 48} {
+		cfg := repro.DefaultConfig()
+		cfg.Batch = batch
+		run(cfg, fmt.Sprintf("relaxed (batch=%d)", batch))
+	}
+
+	fmt.Println("\na DES needs the strict queue: batch=0 yields zero out-of-order events,")
+	fmt.Println("while relaxation reorders them — and DES is also a worst-case input for")
+	fmt.Println("relaxed queues (§3.7's input-pattern discussion): timestamps arrive in")
+	fmt.Println("monotone order, the pattern that thins upper tree sets. Relax only when,")
+	fmt.Println("as in SSSP or job scheduling, out-of-order consumption is benign.")
+}

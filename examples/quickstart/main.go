@@ -1,0 +1,55 @@
+// Quickstart: the smallest useful tour of the public API — insert,
+// relaxed extraction, the strict mode, and the relaxation contract.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	// The paper's recommended configuration: batch=48, targetLen=72.
+	q := repro.New[string](repro.DefaultConfig())
+
+	jobs := map[uint64]string{
+		10: "compact logs",
+		55: "rebuild index",
+		99: "serve paying customer",
+		70: "refresh cache",
+		30: "rotate keys",
+	}
+	for priority, name := range jobs {
+		q.Insert(priority, name)
+	}
+	fmt.Printf("queued %d jobs\n", q.Len())
+
+	// Relaxed extraction: each call returns a high-priority job — the true
+	// maximum is guaranteed at least once per batch+1 calls, and the very
+	// first extraction after a refill is exact.
+	k, v, _ := q.TryExtractMax()
+	fmt.Printf("first job out: %q (priority %d)\n", v, k)
+
+	for {
+		k, v, ok := q.TryExtractMax()
+		if !ok {
+			break
+		}
+		fmt.Printf("next: %q (priority %d)\n", v, k)
+	}
+
+	// Strict mode (batch = 0) behaves exactly like a concurrent heap.
+	strict := repro.NewStrict[string]()
+	strict.Insert(1, "last")
+	strict.Insert(3, "first")
+	strict.Insert(2, "middle")
+	for {
+		_, v, ok := strict.TryExtractMax()
+		if !ok {
+			break
+		}
+		fmt.Println("strict order:", v)
+	}
+}

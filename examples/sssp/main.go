@@ -1,0 +1,60 @@
+// SSSP: parallel single-source shortest path driven by the relaxed queue —
+// the paper's §4.6 application. Out-of-order extraction only costs a little
+// wasted re-expansion (Dijkstra's correctness does not depend on strict
+// order when distances are CAS-min updated), while extraction scalability
+// improves; this example prints the trade-off directly.
+//
+//	go run ./examples/sssp
+package main
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/pq"
+	"repro/internal/sssp"
+)
+
+func main() {
+	// A synthetic social graph shaped like the paper's "Politician"
+	// dataset: 6K nodes, skewed degrees.
+	g := graph.Politician(7)
+	fmt.Printf("graph: %v\n", g)
+
+	oracle := graph.Dijkstra(g, 0)
+	reachable := 0
+	for _, d := range oracle {
+		if d != graph.Infinity {
+			reachable++
+		}
+	}
+	fmt.Printf("sequential Dijkstra: %d reachable nodes\n", reachable)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+
+	for _, cell := range []struct {
+		name string
+		mk   harness.QueueMaker
+	}{
+		{"strict global heap", func(int) pq.Queue { return pq.NewGlobalHeap(0) }},
+		{"relaxed zmsq", harness.Makers()["zmsq"]},
+	} {
+		res := sssp.Run(g, 0, cell.mk(workers), workers)
+		correct := true
+		for i := range oracle {
+			if res.Dist[i] != oracle[i] {
+				correct = false
+				break
+			}
+		}
+		fmt.Printf("%-20s workers=%d elapsed=%-12v wasted=%.2f%% correct=%v\n",
+			cell.name, workers, res.Elapsed, 100*res.WastedFraction(), correct)
+	}
+	fmt.Println("the relaxed queue re-expands a few stale nodes but scales extraction;")
+	fmt.Println("both produce exactly the sequential Dijkstra distances.")
+}

@@ -1,0 +1,144 @@
+// Package core implements ZMSQ, the relaxed concurrent priority queue of
+// Zhou, Michael and Spear (ICPP 2019).
+//
+// ZMSQ stores elements in a binary tree of TNodes. Each TNode holds a small
+// set of elements plus atomically-readable cached metadata (max, min,
+// count). The tree maintains the mound invariant — a parent's maximum is at
+// least as large as either child's maximum — so the globally largest
+// element is always at the root. Relaxation comes from an extraction pool:
+// an ExtractMax that finds the pool empty locks the root, takes the maximum
+// for itself, and moves the next `batch` largest root elements into the
+// pool, where subsequent ExtractMax calls claim them with a single
+// fetch-and-decrement. With batch = 0 the queue is strict.
+//
+// Distinguishing practical features (paper §1): extraction is guaranteed to
+// succeed whenever the queue is nonempty; consumers can block on an empty
+// queue (Config.Blocking); memory safety does not depend on the garbage
+// collector (a hazard-pointer domain gates the reuse of set nodes — see
+// Config.Leaky); and relaxation accuracy is governed solely by `batch`,
+// independent of the number of threads.
+package core
+
+import (
+	"time"
+
+	"repro/internal/locks"
+)
+
+// DefaultBatch and DefaultTargetLen are the static configuration the paper
+// recommends as a default (§4.2: "We recommend the static (batch=48,
+// targetLen=72) configuration as the default setting").
+const (
+	DefaultBatch     = 48
+	DefaultTargetLen = 72
+)
+
+// Config selects a ZMSQ variant. The zero value is NOT the recommended
+// configuration — a zero Batch means a strict (mound-equivalent) queue;
+// call DefaultConfig for the paper's recommended settings.
+type Config struct {
+	// Batch bounds how many elements (beyond the one returned to the
+	// refilling caller) one pool refill moves out of the root. It is also
+	// the accuracy knob: the true maximum is returned at least once per
+	// Batch+1 consecutive ExtractMax calls. Batch = 0 disables the pool
+	// entirely, making every ExtractMax strict.
+	Batch int
+
+	// TargetLen is the number of elements each TNode tries to hold. A set
+	// may hold at most 2×TargetLen elements before it is split into its
+	// children. If zero, DefaultTargetLen is used.
+	TargetLen int
+
+	// Lock selects the per-TNode lock implementation (§4.1). The default
+	// (zero value) is locks.Std; the paper's best performer is a TATAS
+	// trylock.
+	Lock locks.Kind
+
+	// NoTryLock disables the insert path's trylock-and-retry-elsewhere
+	// optimization (§4.1); inserts then block on node locks instead of
+	// restarting along a different random path.
+	NoTryLock bool
+
+	// ArraySet selects the unsorted fixed-capacity array set implementation
+	// (the "(array)" curves in the paper's figures). The default is the
+	// mound-style sorted singly-linked list.
+	ArraySet bool
+
+	// Leaky disables the hazard-pointer protocol, mirroring the paper's
+	// "ZMSQ (leak)" configuration: set nodes are allocated fresh and left
+	// to the garbage collector rather than being retired through the
+	// hazard-pointer domain into a reuse pool. Use it to measure the cost
+	// of the memory-safety protocol.
+	Leaky bool
+
+	// Blocking enables the §3.6 futex-ring blocking mechanism: ExtractMax
+	// sleeps when the queue is empty and Insert wakes sleepers. When false,
+	// ExtractMax behaves like TryExtractMax.
+	Blocking bool
+
+	// RingSize is the number of slots in the blocking ring (rounded up to a
+	// power of two; zero selects waitring.DefaultSlots).
+	RingSize int
+
+	// NoMinSwap disables the insertion-quality optimization that moves a
+	// parent's minimum down into the child when inserting a new child
+	// maximum (§3.2). Exposed for ablation benchmarks.
+	NoMinSwap bool
+
+	// NoForcedInsert disables non-max insertion into under-full deep leaves
+	// (§3.2). Exposed for ablation benchmarks.
+	NoForcedInsert bool
+
+	// Helper enables the §5 future-work maintenance goroutine, which
+	// refills under-full non-leaf sets by pulling elements up from their
+	// children (see helper.go). Stopped by Close.
+	Helper bool
+
+	// HelperInterval is the pause between helper passes (zero selects
+	// 200µs).
+	HelperInterval time.Duration
+
+	// Seed seeds the per-operation random number generators. Zero means a
+	// fixed default seed; runs with equal seeds and a single goroutine are
+	// deterministic.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's recommended configuration: batch = 48,
+// targetLen = 72, TATAS trylocks, memory-safe list sets, blocking disabled.
+func DefaultConfig() Config {
+	return Config{
+		Batch:     DefaultBatch,
+		TargetLen: DefaultTargetLen,
+		Lock:      locks.TATAS,
+	}
+}
+
+// withDefaults fills unset fields that have non-zero defaults.
+func (c Config) withDefaults() Config {
+	if c.TargetLen <= 0 {
+		c.TargetLen = DefaultTargetLen
+	}
+	if c.Batch < 0 {
+		c.Batch = 0
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed5eed5eed5eed
+	}
+	if c.HelperInterval <= 0 {
+		c.HelperInterval = 200 * time.Microsecond
+	}
+	return c
+}
+
+// name fragments used by experiment output.
+func (c Config) variantName() string {
+	name := "zmsq"
+	if c.ArraySet {
+		name += "-array"
+	}
+	if c.Leaky {
+		name += "-leak"
+	}
+	return name
+}

@@ -1,0 +1,242 @@
+package core
+
+import "runtime"
+
+// This file implements Listing 2 of the paper: pool claims by
+// fetch-and-decrement, pool refill from the root (reserving the maximum for
+// the refilling caller), and the downward set-swapping that restores the
+// mound invariant. With batch == 0 the pool is absent and ExtractMax is the
+// strict mound extraction.
+
+type extractStatus int
+
+const (
+	extractGot extractStatus = iota
+	extractEmpty
+	extractRaced
+)
+
+// TryExtractMax removes and returns a high-priority element without
+// blocking. ok is false only if the queue was observed empty — under the
+// root lock, so the observation is exact: extraction never fails while the
+// queue is nonempty (§3.7).
+func (q *Queue[V]) TryExtractMax() (key uint64, val V, ok bool) {
+	ctx := q.getCtx()
+	key, val, ok = q.tryExtract(ctx)
+	q.putCtx(ctx)
+	return key, val, ok
+}
+
+// ExtractMax removes and returns a high-priority element. In blocking mode
+// it sleeps while the queue is empty and returns ok=false only after Close;
+// otherwise it behaves exactly like TryExtractMax.
+func (q *Queue[V]) ExtractMax() (key uint64, val V, ok bool) {
+	if q.ring == nil {
+		return q.TryExtractMax()
+	}
+	ctx := q.getCtx()
+	defer q.putCtx(ctx)
+	if !q.ring.Await() {
+		// Queue closed before this consumer's ticket was covered; drain
+		// best-effort.
+		return q.tryExtract(ctx)
+	}
+	// The ticket argument (§3.6): once a consumer's ticket is covered by an
+	// insert, the queue holds at least one element until this consumer
+	// takes one, so the loop below terminates.
+	for {
+		key, val, ok = q.tryExtract(ctx)
+		if ok {
+			return key, val, true
+		}
+		runtime.Gosched()
+	}
+}
+
+func (q *Queue[V]) tryExtract(ctx *opCtx[V]) (uint64, V, bool) {
+	for attempt := 0; ; attempt++ {
+		if q.batch > 0 {
+			if k, v, ok := q.extractFromPool(); ok {
+				return k, v, true
+			}
+		}
+		// Force a blocking root acquisition periodically so an unlucky
+		// trylocker cannot spin forever behind a stream of refillers.
+		force := attempt >= 16
+		k, v, st := q.extractFromRoot(ctx, force)
+		switch st {
+		case extractGot:
+			return k, v, true
+		case extractEmpty:
+			var zero V
+			return 0, zero, false
+		case extractRaced:
+			runtime.Gosched()
+		}
+	}
+}
+
+// extractFromPool claims one pool element with a fetch-and-decrement. A
+// claim owns pool[idx] exclusively until it clears the slot's full flag,
+// which is what licenses the next refiller to overwrite the slot.
+func (q *Queue[V]) extractFromPool() (uint64, V, bool) {
+	var zero V
+	if q.poolNext.Load() <= 0 {
+		return 0, zero, false
+	}
+	idx := q.poolNext.Add(-1)
+	if idx < 0 {
+		return 0, zero, false
+	}
+	slot := &q.pool[idx]
+	k, v := slot.key, slot.val
+	slot.val = zero
+	slot.full.Store(0) // release the slot to future refillers
+	return k, v, true
+}
+
+// extractFromRoot locks the root and either (a) discovers a concurrent
+// refill and retries, (b) observes a truly empty queue, or (c) removes the
+// maximum for the caller, moves up to batch further elements into the pool,
+// and repairs the invariant downward.
+func (q *Queue[V]) extractFromRoot(ctx *opCtx[V], force bool) (uint64, V, extractStatus) {
+	var zero V
+	root := q.root()
+	if ctx.h != nil {
+		ctx.h.Protect(0, root)
+	}
+	if q.useTry && !force {
+		if !root.lock.TryLock() {
+			// Likely a concurrent refill; go back to the pool.
+			return 0, zero, extractRaced
+		}
+	} else {
+		root.lock.Lock()
+	}
+	if q.batch > 0 && q.poolNext.Load() > 0 {
+		// Someone refilled between our pool miss and taking the lock.
+		root.lock.Unlock()
+		return 0, zero, extractRaced
+	}
+	cnt := root.count.Load()
+	if cnt == 0 {
+		root.lock.Unlock()
+		return 0, zero, extractEmpty
+	}
+
+	e := root.set.removeMax(&ctx.al)
+	cnt--
+
+	if q.batch > 0 && cnt > 0 {
+		n := int(cnt)
+		if n > q.batch {
+			n = q.batch
+		}
+		// Wait for lagging consumers: a slot claimed in a previous round
+		// may not have been read yet; its full flag licenses reuse.
+		for i := 0; i < n; i++ {
+			for q.pool[i].full.Load() != 0 {
+				runtime.Gosched()
+			}
+		}
+		ctx.scratch = root.set.takeTop(&ctx.al, n, ctx.scratch[:0])
+		for i := 0; i < n; i++ {
+			q.pool[i].key = ctx.scratch[i].key
+			q.pool[i].val = ctx.scratch[i].val
+			ctx.scratch[i] = element[V]{}
+			q.pool[i].full.Store(1)
+		}
+		// Publish after all slots are written; the publishing store
+		// happens-before any claim that observes it.
+		q.poolNext.Store(int64(n))
+		cnt -= int64(n)
+	}
+
+	root.count.Store(cnt)
+	if cnt > 0 {
+		root.max.Store(root.set.maxKey())
+	}
+	q.swapDown(ctx, 0, 0) // repairs invariant and unlocks the root chain
+	return e.key, e.val, extractGot
+}
+
+// swapDown restores the mound invariant starting at the locked node
+// (level, slot): while a child's max exceeds the node's, the node's set is
+// exchanged with the larger child's and repair recurses into that child.
+// Locks are acquired parent-before-children (hand-over-hand downward), the
+// global lock order, so no deadlock is possible. The node's lock is
+// released before returning.
+func (q *Queue[V]) swapDown(ctx *opCtx[V], level, slot int) {
+	n := q.node(level, slot)
+	for {
+		if int32(level) >= q.leafLevel.Load() {
+			n.lock.Unlock()
+			return
+		}
+		lSlot, rSlot := 2*slot, 2*slot+1
+		l := q.node(level+1, lSlot)
+		r := q.node(level+1, rSlot)
+		l.lock.Lock()
+		r.lock.Lock()
+
+		// Pick the child with the larger max (empty compares as -inf).
+		c, cSlot := l, lSlot
+		if r.count.Load() > 0 && (l.count.Load() == 0 || r.max.Load() > l.max.Load()) {
+			c, cSlot = r, rSlot
+		}
+		if c.count.Load() == 0 ||
+			(n.count.Load() > 0 && n.max.Load() >= c.max.Load()) {
+			r.lock.Unlock()
+			l.lock.Unlock()
+			n.lock.Unlock()
+			return
+		}
+		swapContents(n, c)
+		if c == l {
+			r.lock.Unlock()
+		} else {
+			l.lock.Unlock()
+		}
+		n.lock.Unlock()
+		n, level, slot = c, level+1, cSlot
+	}
+}
+
+// Drain removes every element, returning them in extraction order. It is a
+// convenience for tests and shutdown paths; concurrent inserts may extend
+// the drain.
+func (q *Queue[V]) Drain() []element[V] {
+	var out []element[V]
+	for {
+		k, v, ok := q.TryExtractMax()
+		if !ok {
+			return out
+		}
+		out = append(out, element[V]{key: k, val: v})
+	}
+}
+
+// PeekMax returns an advisory snapshot of the highest-priority key without
+// removing anything. Under concurrency the value may be stale by the time
+// the caller acts on it; with the queue quiescent it is exact (the larger
+// of the root's cached max and the pool's top unclaimed entry). ok is
+// false when the queue appears empty.
+func (q *Queue[V]) PeekMax() (uint64, bool) {
+	var best uint64
+	found := false
+	if p := q.poolNext.Load(); p > 0 && q.batch > 0 {
+		idx := p - 1
+		if idx < int64(len(q.pool)) && q.pool[idx].full.Load() == 1 {
+			best = q.pool[idx].key
+			found = true
+		}
+	}
+	root := q.root()
+	if root.count.Load() > 0 {
+		if m := root.max.Load(); !found || m > best {
+			best = m
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled scales stress-test sizes down under the race detector, whose
+// scheduler serializes the trylock-retry hot paths by orders of magnitude.
+const raceEnabled = true

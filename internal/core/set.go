@@ -1,0 +1,329 @@
+package core
+
+import "sort"
+
+// element is one queue entry: a priority key (larger = higher priority) and
+// an arbitrary payload.
+type element[V any] struct {
+	key uint64
+	val V
+}
+
+// nodeSet is the per-TNode element container. Two implementations exist,
+// matching the paper's evaluation: a sorted singly-linked list (the mound's
+// representation, the default) and an unsorted fixed-capacity array (the
+// "(array)" curves). All methods are called with the owning TNode's lock
+// held; sets need no internal synchronization.
+//
+// Callers maintain the TNode's cached max/min/count; set methods report
+// enough (maxKey/minKey/length) to recompute them after a mutation.
+type nodeSet[V any] interface {
+	// insertMax adds e, whose key must be >= maxKey() (or the set empty).
+	insertMax(a *alloc[V], e element[V])
+	// insertNonMax adds e at a non-head position; e.key must be <= maxKey().
+	insertNonMax(a *alloc[V], e element[V])
+	// removeMax removes and returns the largest element. The set must be
+	// nonempty.
+	removeMax(a *alloc[V]) element[V]
+	// removeMin removes and returns the smallest element. The set must be
+	// nonempty.
+	removeMin(a *alloc[V]) element[V]
+	// takeTop removes the n largest elements (n <= length()) and appends
+	// them to dst in ascending key order.
+	takeTop(a *alloc[V], n int, dst []element[V]) []element[V]
+	// splitLower removes the floor(length/2) smallest elements and returns
+	// them (in any order).
+	splitLower(a *alloc[V]) []element[V]
+	// swapMin removes the minimum and inserts e in a single pass,
+	// returning the removed minimum and the new minimum key. Requirements:
+	// length >= 2, minKey() < e.key <= maxKey(). This is the §3.2
+	// parent-min quality swap, which runs on most regular inserts and so
+	// must not traverse the set three times.
+	swapMin(a *alloc[V], e element[V]) (demoted element[V], newMin uint64)
+	// maxKey/minKey report the extreme keys; undefined when empty.
+	maxKey() uint64
+	minKey() uint64
+	length() int
+	// ascending appends all elements in ascending key order, without
+	// removing them. Used by validation and draining.
+	ascending(dst []element[V]) []element[V]
+}
+
+// lnode is a node of the sorted list representation. In memory-safe mode
+// lnodes are recycled through a hazard-pointer-gated freelist; in leaky
+// mode they are garbage.
+type lnode[V any] struct {
+	e    element[V]
+	next *lnode[V]
+}
+
+// listSet is a singly-linked list sorted descending by key: the head is the
+// maximum, as in the original mound.
+type listSet[V any] struct {
+	head *lnode[V]
+	size int
+}
+
+func (s *listSet[V]) length() int    { return s.size }
+func (s *listSet[V]) maxKey() uint64 { return s.head.e.key }
+
+func (s *listSet[V]) minKey() uint64 {
+	n := s.head
+	for n.next != nil {
+		n = n.next
+	}
+	return n.e.key
+}
+
+func (s *listSet[V]) insertMax(a *alloc[V], e element[V]) {
+	n := a.get()
+	n.e = e
+	n.next = s.head
+	s.head = n
+	s.size++
+}
+
+func (s *listSet[V]) insertNonMax(a *alloc[V], e element[V]) {
+	if s.head == nil || e.key > s.head.e.key {
+		// Degenerate call on an empty set; preserve sortedness anyway.
+		s.insertMax(a, e)
+		return
+	}
+	prev := s.head
+	for prev.next != nil && prev.next.e.key > e.key {
+		prev = prev.next
+	}
+	n := a.get()
+	n.e = e
+	n.next = prev.next
+	prev.next = n
+	s.size++
+}
+
+func (s *listSet[V]) removeMax(a *alloc[V]) element[V] {
+	n := s.head
+	s.head = n.next
+	s.size--
+	e := n.e
+	a.put(n)
+	return e
+}
+
+func (s *listSet[V]) removeMin(a *alloc[V]) element[V] {
+	if s.head.next == nil {
+		return s.removeMax(a)
+	}
+	prev := s.head
+	for prev.next.next != nil {
+		prev = prev.next
+	}
+	n := prev.next
+	prev.next = nil
+	s.size--
+	e := n.e
+	a.put(n)
+	return e
+}
+
+func (s *listSet[V]) takeTop(a *alloc[V], n int, dst []element[V]) []element[V] {
+	// The list is sorted descending, so the n largest are the first n.
+	// Append them to dst in ascending order: reserve space, fill backwards.
+	base := len(dst)
+	for i := 0; i < n; i++ {
+		dst = append(dst, element[V]{})
+	}
+	for i := n - 1; i >= 0; i-- {
+		dst[base+i] = s.removeMax(a)
+	}
+	return dst
+}
+
+func (s *listSet[V]) splitLower(a *alloc[V]) []element[V] {
+	take := s.size / 2
+	if take == 0 {
+		return nil
+	}
+	// Walk to the last kept node, detach the tail.
+	keep := s.size - take
+	prev := s.head
+	for i := 1; i < keep; i++ {
+		prev = prev.next
+	}
+	tail := prev.next
+	prev.next = nil
+	s.size = keep
+	out := make([]element[V], 0, take)
+	for tail != nil {
+		next := tail.next
+		out = append(out, tail.e)
+		a.put(tail)
+		tail = next
+	}
+	return out
+}
+
+func (s *listSet[V]) swapMin(a *alloc[V], e element[V]) (element[V], uint64) {
+	// One pass over the descending list: splice e in at its sorted
+	// position, then continue to the tail and detach it. The contract
+	// (minKey < e.key <= maxKey, length >= 2) guarantees the insertion
+	// point is after the head and strictly before the old tail.
+	n := a.get()
+	n.e = e
+	prev := s.head
+	for prev.next != nil && prev.next.e.key > e.key {
+		prev = prev.next
+	}
+	n.next = prev.next
+	prev.next = n
+	// n.next is non-nil: the old tail's key (the minimum) is < e.key.
+	p2 := n
+	for p2.next.next != nil {
+		p2 = p2.next
+	}
+	tail := p2.next
+	p2.next = nil
+	demoted := tail.e
+	a.put(tail)
+	return demoted, p2.e.key
+}
+
+func (s *listSet[V]) ascending(dst []element[V]) []element[V] {
+	base := len(dst)
+	for n := s.head; n != nil; n = n.next {
+		dst = append(dst, n.e)
+	}
+	// Reverse the appended (descending) run.
+	for i, j := base, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	return dst
+}
+
+// arraySet is an unsorted slice with small fixed capacity (2×targetLen plus
+// slack). Inserts are O(1); extremum queries and removals are O(n) scans,
+// which at n <= 2×targetLen is a handful of cache lines — the locality the
+// paper credits for the "(array)" variant's low single-thread latency.
+type arraySet[V any] struct {
+	elems []element[V]
+}
+
+func newArraySet[V any](capacity int) *arraySet[V] {
+	return &arraySet[V]{elems: make([]element[V], 0, capacity)}
+}
+
+func (s *arraySet[V]) length() int { return len(s.elems) }
+
+func (s *arraySet[V]) maxKey() uint64 {
+	best := s.elems[0].key
+	for _, e := range s.elems[1:] {
+		if e.key > best {
+			best = e.key
+		}
+	}
+	return best
+}
+
+func (s *arraySet[V]) minKey() uint64 {
+	best := s.elems[0].key
+	for _, e := range s.elems[1:] {
+		if e.key < best {
+			best = e.key
+		}
+	}
+	return best
+}
+
+func (s *arraySet[V]) insertMax(a *alloc[V], e element[V])    { s.elems = append(s.elems, e) }
+func (s *arraySet[V]) insertNonMax(a *alloc[V], e element[V]) { s.elems = append(s.elems, e) }
+
+func (s *arraySet[V]) removeAt(i int) element[V] {
+	e := s.elems[i]
+	last := len(s.elems) - 1
+	s.elems[i] = s.elems[last]
+	s.elems[last] = element[V]{} // release payload for GC
+	s.elems = s.elems[:last]
+	return e
+}
+
+func (s *arraySet[V]) removeMax(a *alloc[V]) element[V] {
+	best := 0
+	for i, e := range s.elems {
+		if e.key > s.elems[best].key {
+			best = i
+		}
+	}
+	return s.removeAt(best)
+}
+
+func (s *arraySet[V]) removeMin(a *alloc[V]) element[V] {
+	best := 0
+	for i, e := range s.elems {
+		if e.key < s.elems[best].key {
+			best = i
+		}
+	}
+	return s.removeAt(best)
+}
+
+func (s *arraySet[V]) sortAscending() {
+	sort.Slice(s.elems, func(i, j int) bool { return s.elems[i].key < s.elems[j].key })
+}
+
+func (s *arraySet[V]) takeTop(a *alloc[V], n int, dst []element[V]) []element[V] {
+	s.sortAscending()
+	cut := len(s.elems) - n
+	dst = append(dst, s.elems[cut:]...)
+	for i := cut; i < len(s.elems); i++ {
+		s.elems[i] = element[V]{}
+	}
+	s.elems = s.elems[:cut]
+	return dst
+}
+
+func (s *arraySet[V]) splitLower(a *alloc[V]) []element[V] {
+	take := len(s.elems) / 2
+	if take == 0 {
+		return nil
+	}
+	s.sortAscending()
+	out := make([]element[V], take)
+	copy(out, s.elems[:take])
+	keep := copy(s.elems, s.elems[take:])
+	for i := keep; i < len(s.elems); i++ {
+		s.elems[i] = element[V]{}
+	}
+	s.elems = s.elems[:keep]
+	return out
+}
+
+func (s *arraySet[V]) swapMin(a *alloc[V], e element[V]) (element[V], uint64) {
+	// One scan tracking the minimum and second-minimum; the minimum's slot
+	// is overwritten with e in place.
+	minI := 0
+	second := uint64(1<<64 - 1)
+	for i := 1; i < len(s.elems); i++ {
+		k := s.elems[i].key
+		switch {
+		case k < s.elems[minI].key:
+			second = s.elems[minI].key
+			minI = i
+		case k < second:
+			second = k
+		}
+	}
+	demoted := s.elems[minI]
+	s.elems[minI] = e
+	newMin := second
+	if e.key < newMin {
+		newMin = e.key
+	}
+	return demoted, newMin
+}
+
+func (s *arraySet[V]) ascending(dst []element[V]) []element[V] {
+	base := len(dst)
+	dst = append(dst, s.elems...)
+	tail := dst[base:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i].key < tail[j].key })
+	return dst
+}

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// newAlloc returns a leaky allocator for direct set testing.
+func newAlloc() *alloc[int] { return &alloc[int]{} }
+
+func mkSet(array bool) nodeSet[int] {
+	if array {
+		return newArraySet[int](64)
+	}
+	return &listSet[int]{}
+}
+
+func setVariants(t *testing.T, f func(t *testing.T, mk func() nodeSet[int])) {
+	t.Run("list", func(t *testing.T) { f(t, func() nodeSet[int] { return mkSet(false) }) })
+	t.Run("array", func(t *testing.T) { f(t, func() nodeSet[int] { return mkSet(true) }) })
+}
+
+func fillSet(s nodeSet[int], a *alloc[int], keys []uint64) {
+	for _, k := range keys {
+		if s.length() == 0 || k >= s.maxKey() {
+			s.insertMax(a, element[int]{key: k})
+		} else {
+			s.insertNonMax(a, element[int]{key: k})
+		}
+	}
+}
+
+func TestSetInsertAndExtremes(t *testing.T) {
+	setVariants(t, func(t *testing.T, mk func() nodeSet[int]) {
+		a := newAlloc()
+		s := mk()
+		keys := []uint64{5, 9, 2, 9, 7, 1, 8}
+		fillSet(s, a, keys)
+		if s.length() != len(keys) {
+			t.Fatalf("length = %d, want %d", s.length(), len(keys))
+		}
+		if s.maxKey() != 9 {
+			t.Fatalf("maxKey = %d, want 9", s.maxKey())
+		}
+		if s.minKey() != 1 {
+			t.Fatalf("minKey = %d, want 1", s.minKey())
+		}
+	})
+}
+
+func TestSetRemoveMaxSortedDrain(t *testing.T) {
+	setVariants(t, func(t *testing.T, mk func() nodeSet[int]) {
+		a := newAlloc()
+		s := mk()
+		keys := []uint64{5, 9, 2, 9, 7, 1, 8, 3, 3}
+		fillSet(s, a, keys)
+		sorted := append([]uint64(nil), keys...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+		for i, w := range sorted {
+			got := s.removeMax(a)
+			if got.key != w {
+				t.Fatalf("removeMax %d = %d, want %d", i, got.key, w)
+			}
+		}
+		if s.length() != 0 {
+			t.Fatalf("length %d after drain", s.length())
+		}
+	})
+}
+
+func TestSetRemoveMin(t *testing.T) {
+	setVariants(t, func(t *testing.T, mk func() nodeSet[int]) {
+		a := newAlloc()
+		s := mk()
+		fillSet(s, a, []uint64{5, 9, 2, 7})
+		if got := s.removeMin(a); got.key != 2 {
+			t.Fatalf("removeMin = %d, want 2", got.key)
+		}
+		if s.minKey() != 5 {
+			t.Fatalf("minKey after removeMin = %d, want 5", s.minKey())
+		}
+		if s.length() != 3 {
+			t.Fatalf("length = %d, want 3", s.length())
+		}
+	})
+}
+
+func TestSetRemoveMinSingleton(t *testing.T) {
+	setVariants(t, func(t *testing.T, mk func() nodeSet[int]) {
+		a := newAlloc()
+		s := mk()
+		s.insertMax(a, element[int]{key: 42})
+		if got := s.removeMin(a); got.key != 42 {
+			t.Fatalf("removeMin singleton = %d", got.key)
+		}
+		if s.length() != 0 {
+			t.Fatal("set not empty")
+		}
+	})
+}
+
+func TestSetTakeTopAscending(t *testing.T) {
+	setVariants(t, func(t *testing.T, mk func() nodeSet[int]) {
+		a := newAlloc()
+		s := mk()
+		fillSet(s, a, []uint64{10, 30, 20, 50, 40})
+		out := s.takeTop(a, 3, nil)
+		want := []uint64{30, 40, 50}
+		if len(out) != 3 {
+			t.Fatalf("takeTop returned %d elements", len(out))
+		}
+		for i, w := range want {
+			if out[i].key != w {
+				t.Fatalf("takeTop[%d] = %d, want %d", i, out[i].key, w)
+			}
+		}
+		if s.length() != 2 || s.maxKey() != 20 || s.minKey() != 10 {
+			t.Fatalf("remaining set wrong: len=%d max=%d min=%d", s.length(), s.maxKey(), s.minKey())
+		}
+	})
+}
+
+func TestSetTakeTopAll(t *testing.T) {
+	setVariants(t, func(t *testing.T, mk func() nodeSet[int]) {
+		a := newAlloc()
+		s := mk()
+		fillSet(s, a, []uint64{3, 1, 2})
+		out := s.takeTop(a, 3, nil)
+		if len(out) != 3 || s.length() != 0 {
+			t.Fatalf("takeTop all: out=%d remaining=%d", len(out), s.length())
+		}
+	})
+}
+
+func TestSetSplitLower(t *testing.T) {
+	setVariants(t, func(t *testing.T, mk func() nodeSet[int]) {
+		a := newAlloc()
+		s := mk()
+		fillSet(s, a, []uint64{10, 30, 20, 50, 40, 60, 70})
+		lower := s.splitLower(a)
+		if len(lower) != 3 {
+			t.Fatalf("splitLower returned %d, want 3", len(lower))
+		}
+		for _, e := range lower {
+			if e.key > 30 {
+				t.Fatalf("splitLower returned high key %d", e.key)
+			}
+		}
+		if s.length() != 4 || s.minKey() != 40 || s.maxKey() != 70 {
+			t.Fatalf("kept half wrong: len=%d min=%d max=%d", s.length(), s.minKey(), s.maxKey())
+		}
+	})
+}
+
+func TestSetSplitLowerSmall(t *testing.T) {
+	setVariants(t, func(t *testing.T, mk func() nodeSet[int]) {
+		a := newAlloc()
+		s := mk()
+		s.insertMax(a, element[int]{key: 1})
+		if got := s.splitLower(a); got != nil {
+			t.Fatalf("splitLower of singleton = %v, want nil", got)
+		}
+	})
+}
+
+func TestSetAscending(t *testing.T) {
+	setVariants(t, func(t *testing.T, mk func() nodeSet[int]) {
+		a := newAlloc()
+		s := mk()
+		fillSet(s, a, []uint64{4, 2, 9, 6})
+		out := s.ascending(nil)
+		want := []uint64{2, 4, 6, 9}
+		for i, w := range want {
+			if out[i].key != w {
+				t.Fatalf("ascending[%d] = %d, want %d", i, out[i].key, w)
+			}
+		}
+		if s.length() != 4 {
+			t.Fatal("ascending must not remove elements")
+		}
+	})
+}
+
+func TestSetPayloadsPreserved(t *testing.T) {
+	setVariants(t, func(t *testing.T, mk func() nodeSet[int]) {
+		a := newAlloc()
+		s := mk()
+		s.insertMax(a, element[int]{key: 10, val: 100})
+		s.insertMax(a, element[int]{key: 20, val: 200})
+		s.insertNonMax(a, element[int]{key: 15, val: 150})
+		for _, want := range []struct {
+			k uint64
+			v int
+		}{{20, 200}, {15, 150}, {10, 100}} {
+			got := s.removeMax(a)
+			if got.key != want.k || got.val != want.v {
+				t.Fatalf("got (%d,%d), want (%d,%d)", got.key, got.val, want.k, want.v)
+			}
+		}
+	})
+}
+
+func TestSetQuickEquivalence(t *testing.T) {
+	// Both set implementations must behave identically to a sorted-slice
+	// model under random operation sequences.
+	r := xrand.New(31)
+	for _, array := range []bool{false, true} {
+		name := "list"
+		if array {
+			name = "array"
+		}
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []byte) bool {
+				a := newAlloc()
+				s := mkSet(array)
+				model := []uint64{}
+				for _, op := range ops {
+					switch {
+					case op < 110 || len(model) == 0: // insert
+						k := uint64(r.Intn(100))
+						if len(model) == 0 || k >= model[0] {
+							s.insertMax(a, element[int]{key: k})
+						} else {
+							s.insertNonMax(a, element[int]{key: k})
+						}
+						model = append(model, k)
+						sort.Slice(model, func(i, j int) bool { return model[i] > model[j] })
+					case op < 180: // removeMax
+						got := s.removeMax(a)
+						if got.key != model[0] {
+							return false
+						}
+						model = model[1:]
+					case op < 220: // removeMin
+						got := s.removeMin(a)
+						if got.key != model[len(model)-1] {
+							return false
+						}
+						model = model[:len(model)-1]
+					default: // takeTop of up to half
+						n := len(model) / 2
+						if n == 0 {
+							continue
+						}
+						out := s.takeTop(a, n, nil)
+						for i := 0; i < n; i++ {
+							if out[i].key != model[n-1-i] {
+								return false
+							}
+						}
+						model = model[n:]
+					}
+					// Cross-check extremes and size.
+					if s.length() != len(model) {
+						return false
+					}
+					if len(model) > 0 {
+						if s.maxKey() != model[0] || s.minKey() != model[len(model)-1] {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSetSwapMin(t *testing.T) {
+	setVariants(t, func(t *testing.T, mk func() nodeSet[int]) {
+		a := newAlloc()
+		s := mk()
+		fillSet(s, a, []uint64{10, 30, 20, 50})
+		demoted, newMin := s.swapMin(a, element[int]{key: 25, val: 7})
+		if demoted.key != 10 {
+			t.Fatalf("demoted %d, want 10", demoted.key)
+		}
+		if newMin != 20 {
+			t.Fatalf("newMin %d, want 20", newMin)
+		}
+		if s.length() != 4 || s.minKey() != 20 || s.maxKey() != 50 {
+			t.Fatalf("set wrong after swapMin: len=%d min=%d max=%d", s.length(), s.minKey(), s.maxKey())
+		}
+		out := s.ascending(nil)
+		want := []uint64{20, 25, 30, 50}
+		for i, w := range want {
+			if out[i].key != w {
+				t.Fatalf("ascending[%d]=%d want %d", i, out[i].key, w)
+			}
+		}
+	})
+}
+
+func TestSetSwapMinBecomesNewMin(t *testing.T) {
+	// e lands just above the removed minimum and becomes the new minimum.
+	setVariants(t, func(t *testing.T, mk func() nodeSet[int]) {
+		a := newAlloc()
+		s := mk()
+		fillSet(s, a, []uint64{10, 50})
+		demoted, newMin := s.swapMin(a, element[int]{key: 11})
+		if demoted.key != 10 || newMin != 11 {
+			t.Fatalf("got demoted=%d newMin=%d, want 10, 11", demoted.key, newMin)
+		}
+	})
+}
+
+func TestSetSwapMinQuick(t *testing.T) {
+	r := xrand.New(444)
+	setVariants(t, func(t *testing.T, mk func() nodeSet[int]) {
+		for trial := 0; trial < 300; trial++ {
+			a := newAlloc()
+			s := mk()
+			n := r.Intn(30) + 2
+			keys := make([]uint64, n)
+			for i := range keys {
+				keys[i] = uint64(r.Intn(1000))
+			}
+			fillSet(s, a, keys)
+			min, max := s.minKey(), s.maxKey()
+			if min == max {
+				continue // contract requires min < e.key <= max
+			}
+			e := min + 1 + uint64(r.Intn(int(max-min)))
+			demoted, newMin := s.swapMin(a, element[int]{key: e})
+			if demoted.key != min {
+				t.Fatalf("demoted %d, want min %d", demoted.key, min)
+			}
+			if got := s.minKey(); got != newMin {
+				t.Fatalf("reported newMin %d, actual %d", newMin, got)
+			}
+			if s.length() != n {
+				t.Fatalf("length changed: %d != %d", s.length(), n)
+			}
+			// Sortedness preserved.
+			out := s.ascending(nil)
+			for i := 1; i < len(out); i++ {
+				if out[i-1].key > out[i].key {
+					t.Fatal("set unsorted after swapMin")
+				}
+			}
+		}
+	})
+}

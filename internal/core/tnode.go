@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hazard"
+	"repro/internal/locks"
+	"repro/internal/xrand"
+)
+
+// tnode is one node of the ZMSQ tree (§3.1). The set may only be mutated
+// while lock is held; max, min and count are cached copies of the set's
+// extremes and size, updated only while holding lock but readable at any
+// time. Optimistic readers must re-validate after locking.
+//
+// max and min are only meaningful when count > 0; an empty node compares as
+// -infinity everywhere.
+type tnode[V any] struct {
+	lock  locks.TryMutex
+	set   nodeSet[V]
+	max   atomic.Uint64
+	min   atomic.Uint64
+	count atomic.Int64
+	// Pad so adjacent tnodes in a level's backing array do not share cache
+	// lines between their hot atomic fields.
+	_ [24]byte
+}
+
+// emptyOrAtMost reports, from the cached fields, whether the node is empty
+// or its max does not exceed key. This is the optimistic test used by
+// position selection; it is re-validated under the node lock.
+func (n *tnode[V]) emptyOrAtMost(key uint64) bool {
+	return n.count.Load() == 0 || n.max.Load() <= key
+}
+
+// swapContents exchanges the sets and cached metadata of two locked nodes.
+// Callers must hold both locks.
+func swapContents[V any](a, b *tnode[V]) {
+	a.set, b.set = b.set, a.set
+	am, bm := a.max.Load(), b.max.Load()
+	a.max.Store(bm)
+	b.max.Store(am)
+	am, bm = a.min.Load(), b.min.Load()
+	a.min.Store(bm)
+	b.min.Store(am)
+	ac, bc := a.count.Load(), b.count.Load()
+	a.count.Store(bc)
+	b.count.Store(ac)
+}
+
+// alloc is the set-node allocator threaded through set operations. In
+// memory-safe mode it pops recycled lnodes from the queue's freelist and
+// retires freed ones through the hazard-pointer domain; in leaky mode it
+// allocates fresh nodes and lets the garbage collector take the old ones
+// (the paper's "ZMSQ (leak)" configuration).
+type alloc[V any] struct {
+	q *Queue[V]
+	h *hazard.Handle // nil in leaky mode
+}
+
+func (a *alloc[V]) get() *lnode[V] {
+	if a.h != nil {
+		if n := a.q.free.pop(); n != nil {
+			return n
+		}
+	}
+	return new(lnode[V])
+}
+
+func (a *alloc[V]) put(n *lnode[V]) {
+	n.e = element[V]{}
+	n.next = nil
+	if a.h != nil {
+		a.h.Retire(n, a.q.reclaim)
+	}
+}
+
+// freelistShards spreads freelist traffic over several locks; a single
+// mutex here would serialize every memory-safe insert and extract.
+const freelistShards = 8
+
+// freelist is a sharded pool of reusable lnodes. Nodes enter via the hazard
+// domain's reclamation callback (only after no hazard pointer refers to
+// them) and leave via alloc.get.
+type freelist[V any] struct {
+	shards [freelistShards]freeShard[V]
+	rr     atomic.Uint32
+}
+
+type freeShard[V any] struct {
+	mu    sync.Mutex
+	nodes []*lnode[V]
+	_     [40]byte
+}
+
+func (f *freelist[V]) push(n *lnode[V]) {
+	s := &f.shards[f.rr.Add(1)%freelistShards]
+	s.mu.Lock()
+	s.nodes = append(s.nodes, n)
+	s.mu.Unlock()
+}
+
+func (f *freelist[V]) pop() *lnode[V] {
+	start := f.rr.Add(1)
+	for i := uint32(0); i < freelistShards; i++ {
+		s := &f.shards[(start+i)%freelistShards]
+		s.mu.Lock()
+		if k := len(s.nodes); k > 0 {
+			n := s.nodes[k-1]
+			s.nodes[k-1] = nil
+			s.nodes = s.nodes[:k-1]
+			s.mu.Unlock()
+			return n
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// opCtx carries per-operation state: a private RNG, the participant's
+// hazard-pointer handle, the set-node allocator, and a scratch buffer for
+// pool refills. Contexts are pooled; one is held for the duration of a
+// single Insert or ExtractMax.
+type opCtx[V any] struct {
+	rng     xrand.Rand
+	h       *hazard.Handle
+	al      alloc[V]
+	scratch []element[V]
+}
+
+// clearHazards empties the traversal hazard slots at the end of an
+// operation.
+func (c *opCtx[V]) clearHazards() {
+	if c.h != nil {
+		c.h.Clear(0)
+		c.h.Clear(1)
+	}
+}

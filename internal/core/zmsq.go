@@ -1,0 +1,224 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hazard"
+	"repro/internal/locks"
+	"repro/internal/waitring"
+	"repro/internal/xrand"
+)
+
+// maxLevels caps the tree depth. Level i holds 2^i TNodes; with targetLen
+// elements per node, a tree of depth 21 holds hundreds of millions of
+// elements — far beyond the experiments' working sets. The cap exists so a
+// pathological workload cannot allocate unbounded level arrays; if it is
+// ever reached, inserts fall back to the always-succeeding root path.
+const maxLevels = 22
+
+// Queue is a ZMSQ relaxed concurrent priority queue holding (uint64, V)
+// pairs, where larger keys have higher priority. All methods are safe for
+// concurrent use.
+type Queue[V any] struct {
+	cfg       Config
+	batch     int
+	targetLen int
+	useTry    bool
+
+	levels    [maxLevels][]tnode[V]
+	leafLevel atomic.Int32
+	growMu    sync.Mutex
+
+	// pool is the shared extraction pool (§3.3). poolNext > 0 means
+	// pool[0..poolNext-1] hold claimable elements; claims decrement it.
+	pool     []poolSlot[V]
+	poolNext atomic.Int64
+
+	ring    *waitring.Ring // non-nil iff cfg.Blocking
+	dom     *hazard.Domain // non-nil iff memory-safe (i.e. !cfg.Leaky)
+	free    freelist[V]
+	reclaim func(hazard.Ptr)
+
+	ctxs    sync.Pool
+	seedCtr atomic.Uint64
+	closed  atomic.Bool
+
+	helperStop  chan struct{}
+	helperMoves atomic.Int64
+}
+
+// poolSlot is one entry of the extraction pool, padded to its own cache
+// line. full is the per-slot handoff flag: the refiller may only overwrite
+// a slot once the consumer that claimed it has read the contents and
+// cleared the flag ("wait for lagging consumers", Listing 2).
+type poolSlot[V any] struct {
+	full atomic.Uint32
+	key  uint64
+	val  V
+	_    [44]byte
+}
+
+// New returns an empty queue configured by cfg. See Config and
+// DefaultConfig.
+func New[V any](cfg Config) *Queue[V] {
+	cfg = cfg.withDefaults()
+	q := &Queue[V]{
+		cfg:       cfg,
+		batch:     cfg.Batch,
+		targetLen: cfg.TargetLen,
+		useTry:    !cfg.NoTryLock,
+	}
+	q.levels[0] = q.newLevel(1)
+	if cfg.Batch > 0 {
+		q.pool = make([]poolSlot[V], cfg.Batch)
+	}
+	if cfg.Blocking {
+		q.ring = waitring.New(cfg.RingSize)
+	}
+	if !cfg.Leaky {
+		q.dom = hazard.NewDomain()
+		q.reclaim = func(p hazard.Ptr) { q.free.push(p.(*lnode[V])) }
+	}
+	if cfg.Helper {
+		q.helperStop = make(chan struct{})
+	}
+	q.ctxs.New = func() any {
+		id := q.seedCtr.Add(1)
+		c := &opCtx[V]{}
+		c.rng.Seed(xrand.Mix64(cfg.Seed + id*0x9e3779b97f4a7c15))
+		if q.dom != nil {
+			c.h = q.dom.Get()
+		}
+		c.al = alloc[V]{q: q, h: c.h}
+		if cfg.Batch > 0 {
+			c.scratch = make([]element[V], 0, cfg.Batch)
+		}
+		return c
+	}
+	if cfg.Helper {
+		go q.helperLoop(cfg.HelperInterval)
+	}
+	return q
+}
+
+func (q *Queue[V]) newLevel(n int) []tnode[V] {
+	level := make([]tnode[V], n)
+	for i := range level {
+		level[i].lock = locks.New(q.cfg.Lock)
+		if q.cfg.ArraySet {
+			level[i].set = newArraySet[V](2*q.cfg.TargetLen + 8)
+		} else {
+			level[i].set = &listSet[V]{}
+		}
+	}
+	return level
+}
+
+func (q *Queue[V]) node(level, slot int) *tnode[V] {
+	return &q.levels[level][slot]
+}
+
+func (q *Queue[V]) root() *tnode[V] { return &q.levels[0][0] }
+
+// expandTree grows the tree by one level if leafLevel is still from. It
+// reports false only when the depth cap is reached.
+func (q *Queue[V]) expandTree(from int) bool {
+	q.growMu.Lock()
+	defer q.growMu.Unlock()
+	cur := int(q.leafLevel.Load())
+	if cur != from {
+		return true // someone else already grew the tree
+	}
+	if cur+1 >= maxLevels {
+		return false
+	}
+	// Publish the level's nodes before advancing leafLevel: readers load
+	// leafLevel (acquire) before indexing levels, so they always observe
+	// initialized nodes.
+	q.levels[cur+1] = q.newLevel(1 << (cur + 1))
+	q.leafLevel.Store(int32(cur + 1))
+	return true
+}
+
+func (q *Queue[V]) getCtx() *opCtx[V]  { return q.ctxs.Get().(*opCtx[V]) }
+func (q *Queue[V]) putCtx(c *opCtx[V]) { c.clearHazards(); q.ctxs.Put(c) }
+
+// Len returns a snapshot count of queued elements: the sum of node counts
+// plus unclaimed pool entries. It is exact when the queue is quiescent and
+// a best-effort estimate under concurrency. Cost is O(tree nodes).
+func (q *Queue[V]) Len() int {
+	var total int64
+	top := int(q.leafLevel.Load())
+	for l := 0; l <= top; l++ {
+		nodes := q.levels[l]
+		for i := range nodes {
+			total += nodes[i].count.Load()
+		}
+	}
+	if p := q.poolNext.Load(); p > 0 {
+		total += p
+	}
+	if total < 0 {
+		total = 0
+	}
+	return int(total)
+}
+
+// Empty reports whether Len() == 0. Subject to the same snapshot caveat.
+func (q *Queue[V]) Empty() bool {
+	if q.poolNext.Load() > 0 {
+		return false
+	}
+	return q.root().count.Load() == 0
+}
+
+// Close releases consumers blocked in ExtractMax (blocking mode). Blocked
+// and future ExtractMax calls return ok=false once the queue is empty.
+// Insert remains usable; Close is idempotent.
+func (q *Queue[V]) Close() {
+	if !q.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if q.helperStop != nil {
+		close(q.helperStop)
+	}
+	if q.ring != nil {
+		q.ring.Close()
+	}
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[V]) Closed() bool { return q.closed.Load() }
+
+// ForEach visits every queued element — tree contents plus unclaimed pool
+// entries — in unspecified order, stopping early if f returns false. It
+// takes no locks and is intended for quiescent queues (diagnostics,
+// checkpointing); under concurrency it is a best-effort snapshot.
+func (q *Queue[V]) ForEach(f func(key uint64, val V) bool) {
+	if p := q.poolNext.Load(); p > 0 {
+		for i := int64(0); i < p && i < int64(len(q.pool)); i++ {
+			if q.pool[i].full.Load() == 1 {
+				if !f(q.pool[i].key, q.pool[i].val) {
+					return
+				}
+			}
+		}
+	}
+	top := int(q.leafLevel.Load())
+	var scratch []element[V]
+	for l := 0; l <= top; l++ {
+		nodes := q.levels[l]
+		for i := range nodes {
+			if nodes[i].count.Load() == 0 {
+				continue
+			}
+			scratch = nodes[i].set.ascending(scratch[:0])
+			for _, e := range scratch {
+				if !f(e.key, e.val) {
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package graph
+
+import "container/heap"
+
+// Infinity is the distance assigned to unreachable nodes.
+const Infinity = ^uint64(0)
+
+// Dijkstra computes single-source shortest path distances from src with a
+// sequential binary heap. It is the oracle the concurrent SSSP results are
+// validated against, and the single-thread baseline of Figures 7 and 8.
+func Dijkstra(g *Graph, src uint32) []uint64 {
+	dist := make([]uint64, g.NumNodes())
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	dist[src] = 0
+	pq := &distHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		top := heap.Pop(pq).(distEntry)
+		if top.dist > dist[top.node] {
+			continue // stale entry
+		}
+		targets, weights := g.Neighbors(top.node)
+		for i, v := range targets {
+			nd := top.dist + uint64(weights[i])
+			if nd < dist[v] {
+				dist[v] = nd
+				heap.Push(pq, distEntry{node: v, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distEntry struct {
+	node uint32
+	dist uint64
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

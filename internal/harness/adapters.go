@@ -1,0 +1,95 @@
+// Package harness contains the experiment machinery shared by the cmd/
+// tools and the root benchmark suite: queue adapters, key-distribution
+// generators, and runners for the paper's three measurement styles —
+// throughput under an operation mix (Figures 2, 3, 5), extraction accuracy
+// (Table 1), and producer/consumer handoff latency (Figures 4, 6).
+package harness
+
+import (
+	"repro/internal/core"
+	"repro/internal/klsm"
+	"repro/internal/mound"
+	"repro/internal/multiqueue"
+	"repro/internal/pq"
+	"repro/internal/spray"
+)
+
+// ZMSQ adapts a payload-less core.Queue to the harness's pq.Queue.
+type ZMSQ struct {
+	Q *core.Queue[struct{}]
+	n string
+}
+
+// NewZMSQ builds a ZMSQ adapter from cfg.
+func NewZMSQ(cfg core.Config) *ZMSQ {
+	return &ZMSQ{Q: core.New[struct{}](cfg), n: VariantName(cfg)}
+}
+
+// VariantName formats the display name the paper's figures use for a ZMSQ
+// configuration.
+func VariantName(cfg core.Config) string {
+	name := "zmsq"
+	if cfg.ArraySet {
+		name += "(array)"
+	}
+	if cfg.Leaky {
+		name += "(leak)"
+	}
+	return name
+}
+
+// Insert implements pq.Queue.
+func (z *ZMSQ) Insert(key uint64) { z.Q.Insert(key, struct{}{}) }
+
+// ExtractMax implements pq.Queue.
+func (z *ZMSQ) ExtractMax() (uint64, bool) {
+	k, _, ok := z.Q.TryExtractMax()
+	return k, ok
+}
+
+// Name implements pq.Named.
+func (z *ZMSQ) Name() string { return z.n }
+
+// KLSMAdapter exposes a k-LSM through pq.Queue using one handle per
+// adapter; the caller must use one adapter per goroutine (matching the
+// thread-local design). MakeKLSM builds per-worker adapters over a shared
+// KLSM.
+type KLSMAdapter struct {
+	h *klsm.Handle
+	q *klsm.KLSM
+}
+
+// Insert implements pq.Queue.
+func (a *KLSMAdapter) Insert(key uint64) { a.h.Insert(key) }
+
+// ExtractMax implements pq.Queue.
+func (a *KLSMAdapter) ExtractMax() (uint64, bool) { return a.h.ExtractMax() }
+
+// Name implements pq.Named.
+func (a *KLSMAdapter) Name() string { return "klsm" }
+
+// Close releases the handle (spilling local elements).
+func (a *KLSMAdapter) Close() { a.h.Release() }
+
+// QueueMaker builds a fresh queue for one experiment run. threads is the
+// worker count the experiment will use — SprayList and MultiQueue tune
+// their relaxation to it, matching the paper's setup.
+type QueueMaker func(threads int) pq.Queue
+
+// PerWorkerMaker optionally builds a distinct pq.Queue view per worker over
+// shared state (used by k-LSM). Runners use it when non-nil.
+type PerWorkerMaker func(threads int) func(worker int) pq.Queue
+
+// Makers returns the named queue constructors used across experiments.
+func Makers() map[string]QueueMaker {
+	return map[string]QueueMaker{
+		"zmsq":        func(int) pq.Queue { return NewZMSQ(core.DefaultConfig()) },
+		"zmsq(array)": func(int) pq.Queue { cfg := core.DefaultConfig(); cfg.ArraySet = true; return NewZMSQ(cfg) },
+		"zmsq(leak)":  func(int) pq.Queue { cfg := core.DefaultConfig(); cfg.Leaky = true; return NewZMSQ(cfg) },
+		"mound":       func(int) pq.Queue { return mound.New() },
+		"spraylist":   func(p int) pq.Queue { return spray.New(p) },
+		"multiqueue":  func(p int) pq.Queue { return multiqueue.New(p, 0) },
+		"globalheap":  func(int) pq.Queue { return pq.NewGlobalHeap(0) },
+		"fifo":        func(int) pq.Queue { return pq.NewFIFO() },
+	}
+}

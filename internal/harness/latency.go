@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/pq"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// LatencyResult reports per-operation latency distributions for one
+// workload cell. The paper reasons about operation latency qualitatively
+// (e.g. §4.5.1 credits the array variant's low single-thread latency;
+// §4.2 notes small targetLen raises latency for both operations); this
+// runner makes those claims measurable.
+type LatencyResult struct {
+	Spec    ThroughputSpec
+	Queue   string
+	Insert  OpLatency
+	Extract OpLatency
+}
+
+// OpLatency summarizes one operation type's latency distribution.
+type OpLatency struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
+}
+
+func summarizeRecorder(r *stats.LatencyRecorder) OpLatency {
+	return OpLatency{
+		Count: r.Count(),
+		Mean:  r.Mean(),
+		P50:   r.Quantile(0.50),
+		P99:   r.Quantile(0.99),
+	}
+}
+
+// String formats the result as an experiment row.
+func (r LatencyResult) String() string {
+	return fmt.Sprintf("%-14s threads=%-3d insert{mean=%v p50=%v p99=%v} extract{mean=%v p50=%v p99=%v}",
+		r.Queue, r.Spec.Threads,
+		r.Insert.Mean, r.Insert.P50, r.Insert.P99,
+		r.Extract.Mean, r.Extract.P50, r.Extract.P99)
+}
+
+// RunOpLatency runs the spec's operation mix while timing every individual
+// operation into log-bucketed histograms (one pair per worker, merged at
+// the end, so recording never serializes workers).
+func RunOpLatency(mk QueueMaker, spec ThroughputSpec) LatencyResult {
+	q := mk(spec.Threads)
+	name := pq.NameOf(q, "queue")
+
+	prefill := xrand.New(spec.Seed ^ 0xfeed)
+	for i := 0; i < spec.Prefill; i++ {
+		q.Insert(spec.Keys.Draw(prefill))
+	}
+
+	perWorker := spec.TotalOps / spec.Threads
+	insertRecs := make([]*stats.LatencyRecorder, spec.Threads)
+	extractRecs := make([]*stats.LatencyRecorder, spec.Threads)
+	var start, stop sync.WaitGroup
+	start.Add(1)
+	stop.Add(spec.Threads)
+	for w := 0; w < spec.Threads; w++ {
+		insertRecs[w] = stats.NewLatencyRecorder()
+		extractRecs[w] = stats.NewLatencyRecorder()
+		go func(w int) {
+			defer stop.Done()
+			r := xrand.New(spec.Seed + uint64(w)*0x9e3779b97f4a7c15)
+			ins, ext := insertRecs[w], extractRecs[w]
+			start.Wait()
+			for i := 0; i < perWorker; i++ {
+				if spec.InsertPct.IsInsert(r) {
+					k := spec.Keys.Draw(r)
+					t0 := time.Now()
+					q.Insert(k)
+					ins.Record(time.Since(t0))
+				} else {
+					t0 := time.Now()
+					q.ExtractMax()
+					ext.Record(time.Since(t0))
+				}
+			}
+		}(w)
+	}
+	start.Done()
+	stop.Wait()
+
+	insAll := stats.NewLatencyRecorder()
+	extAll := stats.NewLatencyRecorder()
+	for w := 0; w < spec.Threads; w++ {
+		insAll.Merge(insertRecs[w])
+		extAll.Merge(extractRecs[w])
+	}
+	return LatencyResult{
+		Spec:    spec,
+		Queue:   name,
+		Insert:  summarizeRecorder(insAll),
+		Extract: summarizeRecorder(extAll),
+	}
+}

@@ -1,0 +1,200 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pq"
+	"repro/internal/stats"
+)
+
+// HandoffSpec describes a producer/consumer experiment (Figures 4 and 6):
+// dedicated producers insert TotalItems elements into an initially empty
+// queue; dedicated consumers extract them all.
+type HandoffSpec struct {
+	Producers  int
+	Consumers  int
+	TotalItems int
+	Seed       uint64
+}
+
+// HandoffResult is one measured cell.
+type HandoffResult struct {
+	Spec    HandoffSpec
+	Queue   string
+	Mode    string // "spin" or "block"
+	Elapsed time.Duration
+	// MeanLatency and P99Latency measure insert-to-extract handoff time.
+	MeanLatency time.Duration
+	P99Latency  time.Duration
+	// CPUSeconds is the Go-runtime user+GC CPU consumed during the run —
+	// the quantity Figure 4b compares (spinning consumers burn CPU
+	// proportional to their count; blocked consumers do not).
+	CPUSeconds float64
+}
+
+// PerHandoff is the latency per handoff (Figure 4a's y-axis).
+func (r HandoffResult) PerHandoff() time.Duration {
+	if r.Spec.TotalItems == 0 {
+		return 0
+	}
+	return r.Elapsed / time.Duration(r.Spec.TotalItems)
+}
+
+// String formats the result as an experiment table row.
+func (r HandoffResult) String() string {
+	return fmt.Sprintf("%-14s %-5s prod=%-3d cons=%-3d elapsed=%-12v meanLat=%-10v p99=%-10v cpu=%.2fs",
+		r.Queue, r.Mode, r.Spec.Producers, r.Spec.Consumers, r.Elapsed, r.MeanLatency, r.P99Latency, r.CPUSeconds)
+}
+
+func cpuSeconds() float64 {
+	runtime.GC() // CPU-class metrics are refreshed on GC
+	samples := []metrics.Sample{
+		{Name: "/cpu/classes/user:cpu-seconds"},
+		{Name: "/cpu/classes/gc/total:cpu-seconds"},
+	}
+	metrics.Read(samples)
+	total := 0.0
+	for _, s := range samples {
+		if s.Value.Kind() == metrics.KindFloat64 {
+			total += s.Value.Float64()
+		}
+	}
+	return total
+}
+
+// RunHandoffZMSQ runs the Figure 4 experiment on a ZMSQ: the same queue
+// configuration measured in spinning mode (blocking disabled; consumers
+// retry TryExtractMax) and blocking mode (consumers sleep on the futex
+// ring).
+func RunHandoffZMSQ(cfg core.Config, blocking bool, spec HandoffSpec) HandoffResult {
+	cfg.Blocking = blocking
+	q := core.New[int64](cfg)
+	mode := "spin"
+	if blocking {
+		mode = "block"
+	}
+
+	var consumed atomic.Int64
+	rec := stats.NewLatencyRecorder()
+	var wg sync.WaitGroup
+	begin := time.Now()
+	cpuBefore := cpuSeconds()
+
+	perProducer := spec.TotalItems / spec.Producers
+	for p := 0; p < spec.Producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				// The payload carries the insertion timestamp; the key is
+				// the same value so later items have higher priority (a
+				// plausible freshness-priority workload, and near-empty
+				// queues make the choice immaterial).
+				now := time.Since(begin).Nanoseconds()
+				q.Insert(uint64(now), now)
+			}
+		}(p)
+	}
+	total := int64(perProducer * spec.Producers)
+	for c := 0; c < spec.Consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if consumed.Load() >= total {
+					return
+				}
+				var ts int64
+				var ok bool
+				if blocking {
+					_, ts, ok = q.ExtractMax()
+					if !ok {
+						return // closed
+					}
+				} else {
+					_, ts, ok = q.TryExtractMax()
+					if !ok {
+						continue
+					}
+				}
+				rec.Record(time.Duration(time.Since(begin).Nanoseconds() - ts))
+				if consumed.Add(1) >= total {
+					q.Close() // release blocked siblings
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+	cpuAfter := cpuSeconds()
+
+	return HandoffResult{
+		Spec:        spec,
+		Queue:       VariantName(cfg),
+		Mode:        mode,
+		Elapsed:     elapsed,
+		MeanLatency: rec.Mean(),
+		P99Latency:  rec.Quantile(0.99),
+		CPUSeconds:  cpuAfter - cpuBefore,
+	}
+}
+
+// RunHandoff runs the Figure 6 experiment: transfer TotalItems through any
+// pq.Queue with dedicated producers and consumers (blocking disabled, as
+// the paper does for cross-queue fairness — SprayList cannot block).
+func RunHandoff(mk QueueMaker, spec HandoffSpec) HandoffResult {
+	threads := spec.Producers + spec.Consumers
+	q := mk(threads)
+
+	var consumed atomic.Int64
+	rec := stats.NewLatencyRecorder()
+	var wg sync.WaitGroup
+	begin := time.Now()
+
+	perProducer := spec.TotalItems / spec.Producers
+	total := int64(perProducer * spec.Producers)
+	for p := 0; p < spec.Producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Insert(uint64(time.Since(begin).Nanoseconds()))
+			}
+		}()
+	}
+	for c := 0; c < spec.Consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for consumed.Load() < total {
+				ts, ok := q.ExtractMax()
+				if !ok {
+					// Empty or spuriously failed (SprayList): retry. The
+					// paper highlights that SprayList consumers need
+					// multiple calls per element here (§4.5.2).
+					continue
+				}
+				rec.Record(time.Duration(time.Since(begin).Nanoseconds() - int64(ts)))
+				if consumed.Add(1) >= total {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return HandoffResult{
+		Spec:        spec,
+		Queue:       pq.NameOf(q, "queue"),
+		Mode:        "spin",
+		Elapsed:     time.Since(begin),
+		MeanLatency: rec.Mean(),
+		P99Latency:  rec.Quantile(0.99),
+	}
+}

@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// This file provides the sweep/record layer the cmd tools share: experiment
+// results flattened to rows, written either as aligned text or CSV so runs
+// can be diffed and plotted without re-running.
+
+// Row is one experiment cell flattened to (labels, metrics).
+type Row struct {
+	Experiment string
+	Queue      string
+	Labels     map[string]string  // e.g. threads=8, mix=50
+	Metrics    map[string]float64 // e.g. Mops/s, hit%, ns/handoff
+}
+
+// labelOrder and metricOrder pin column order for deterministic output.
+var labelOrder = []string{"threads", "mix", "keys", "batch", "targetLen", "producers", "consumers", "extracts", "size", "workers", "graph", "mode", "ratio"}
+
+// Recorder accumulates rows for one run and renders them.
+type Recorder struct {
+	rows []Row
+}
+
+// Add appends a row.
+func (r *Recorder) Add(row Row) { r.rows = append(r.rows, row) }
+
+// AddThroughput flattens a ThroughputResult.
+func (r *Recorder) AddThroughput(experiment string, res ThroughputResult) {
+	r.Add(Row{
+		Experiment: experiment,
+		Queue:      res.Queue,
+		Labels: map[string]string{
+			"threads": strconv.Itoa(res.Spec.Threads),
+			"mix":     strconv.Itoa(int(res.Spec.InsertPct)),
+			"keys":    res.Spec.Keys.String(),
+		},
+		Metrics: map[string]float64{
+			"Mops/s":        res.OpsPerSec() / 1e6,
+			"failedExtract": float64(res.FailedExt),
+		},
+	})
+}
+
+// AddAccuracy flattens an AccuracyResult.
+func (r *Recorder) AddAccuracy(experiment string, res AccuracyResult) {
+	r.Add(Row{
+		Experiment: experiment,
+		Queue:      res.Queue,
+		Labels: map[string]string{
+			"size":     strconv.Itoa(res.Spec.QueueSize),
+			"extracts": strconv.Itoa(res.Spec.Extracts),
+		},
+		Metrics: map[string]float64{
+			"hit%":     100 * res.HitRate(),
+			"failures": float64(res.Failures),
+		},
+	})
+}
+
+// AddHandoff flattens a HandoffResult.
+func (r *Recorder) AddHandoff(experiment string, res HandoffResult) {
+	r.Add(Row{
+		Experiment: experiment,
+		Queue:      res.Queue,
+		Labels: map[string]string{
+			"mode":      res.Mode,
+			"producers": strconv.Itoa(res.Spec.Producers),
+			"consumers": strconv.Itoa(res.Spec.Consumers),
+		},
+		Metrics: map[string]float64{
+			"ns/handoff": float64(res.Elapsed.Nanoseconds()) / float64(max(res.Spec.TotalItems, 1)),
+			"meanLatNs":  float64(res.MeanLatency.Nanoseconds()),
+			"cpuSec":     res.CPUSeconds,
+		},
+	})
+}
+
+// Rows returns the accumulated rows.
+func (r *Recorder) Rows() []Row { return r.rows }
+
+// WriteCSV emits all rows with a unified header: experiment, queue, every
+// label column in labelOrder that appears, then every metric column in
+// first-seen order.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	labelCols := []string{}
+	seenLabel := map[string]bool{}
+	for _, name := range labelOrder {
+		for _, row := range r.rows {
+			if _, ok := row.Labels[name]; ok && !seenLabel[name] {
+				labelCols = append(labelCols, name)
+				seenLabel[name] = true
+				break
+			}
+		}
+	}
+	metricCols := []string{}
+	seenMetric := map[string]bool{}
+	for _, row := range r.rows {
+		for _, name := range []string{"Mops/s", "failedExtract", "hit%", "failures", "ns/handoff", "meanLatNs", "cpuSec", "ms", "wasted%"} {
+			if _, ok := row.Metrics[name]; ok && !seenMetric[name] {
+				metricCols = append(metricCols, name)
+				seenMetric[name] = true
+			}
+		}
+	}
+
+	cw := csv.NewWriter(w)
+	header := append([]string{"experiment", "queue"}, labelCols...)
+	header = append(header, metricCols...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range r.rows {
+		rec := []string{row.Experiment, row.Queue}
+		for _, c := range labelCols {
+			rec = append(rec, row.Labels[c])
+		}
+		for _, c := range metricCols {
+			if v, ok := row.Metrics[c]; ok {
+				rec = append(rec, strconv.FormatFloat(v, 'f', -1, 64))
+			} else {
+				rec = append(rec, "")
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteText emits one aligned line per row.
+func (r *Recorder) WriteText(w io.Writer) error {
+	for _, row := range r.rows {
+		if _, err := fmt.Fprintf(w, "%-10s %-16s", row.Experiment, row.Queue); err != nil {
+			return err
+		}
+		for _, name := range labelOrder {
+			if v, ok := row.Labels[name]; ok {
+				if _, err := fmt.Fprintf(w, " %s=%-8s", name, v); err != nil {
+					return err
+				}
+			}
+		}
+		for name, v := range row.Metrics {
+			if _, err := fmt.Fprintf(w, " %s=%.3f", name, v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Timestamp formats t for result-file naming; split out so tests can pin
+// it.
+func Timestamp(t time.Time) string { return t.Format("20060102-150405") }

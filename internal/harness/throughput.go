@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pq"
+	"repro/internal/xrand"
+)
+
+// ThroughputSpec describes one throughput experiment cell (one curve point
+// in Figures 2, 3 and 5).
+type ThroughputSpec struct {
+	// Threads is the number of worker goroutines.
+	Threads int
+	// TotalOps is the number of operations divided evenly across workers.
+	TotalOps int
+	// InsertPct is the operation mix (100, 66 or 50 in the paper).
+	InsertPct Mix
+	// Keys selects the key distribution.
+	Keys KeyDist
+	// Prefill inserts this many keys before timing starts (the 50/50
+	// workloads start from 1M-element queues in the paper).
+	Prefill int
+	// Seed makes runs reproducible.
+	Seed uint64
+}
+
+// ThroughputResult is one measured cell.
+type ThroughputResult struct {
+	Spec      ThroughputSpec
+	Queue     string
+	Elapsed   time.Duration
+	Ops       int64 // operations completed (inserts + successful/empty extracts)
+	FailedExt int64 // extractions that returned ok=false
+}
+
+// OpsPerSec is the headline throughput number.
+func (r ThroughputResult) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// String formats the result as an experiment table row.
+func (r ThroughputResult) String() string {
+	return fmt.Sprintf("%-14s threads=%-3d mix=%d%% keys=%-9s ops/s=%.0f failedExtract=%d",
+		r.Queue, r.Spec.Threads, int(r.Spec.InsertPct), r.Spec.Keys, r.OpsPerSec(), r.FailedExt)
+}
+
+// RunThroughput executes one cell against a fresh queue from mk.
+func RunThroughput(mk QueueMaker, spec ThroughputSpec) ThroughputResult {
+	q := mk(spec.Threads)
+	name := pq.NameOf(q, "queue")
+
+	prefill := xrand.New(spec.Seed ^ 0xfeed)
+	for i := 0; i < spec.Prefill; i++ {
+		q.Insert(spec.Keys.Draw(prefill))
+	}
+
+	perWorker := spec.TotalOps / spec.Threads
+	var failed atomic.Int64
+	var ops atomic.Int64
+	var start, stop sync.WaitGroup
+	start.Add(1)
+	stop.Add(spec.Threads)
+	for w := 0; w < spec.Threads; w++ {
+		go func(w int) {
+			defer stop.Done()
+			r := xrand.New(spec.Seed + uint64(w)*0x9e3779b97f4a7c15)
+			start.Wait()
+			var localOps, localFailed int64
+			for i := 0; i < perWorker; i++ {
+				if spec.InsertPct.IsInsert(r) {
+					q.Insert(spec.Keys.Draw(r))
+				} else if _, ok := q.ExtractMax(); !ok {
+					localFailed++
+				}
+				localOps++
+			}
+			ops.Add(localOps)
+			failed.Add(localFailed)
+		}(w)
+	}
+	begin := time.Now()
+	start.Done()
+	stop.Wait()
+	elapsed := time.Since(begin)
+
+	return ThroughputResult{
+		Spec:      spec,
+		Queue:     name,
+		Elapsed:   elapsed,
+		Ops:       ops.Load(),
+		FailedExt: failed.Load(),
+	}
+}

@@ -1,0 +1,73 @@
+package harness
+
+import "repro/internal/xrand"
+
+// KeyDist names a key distribution for workload generation.
+type KeyDist int
+
+const (
+	// Uniform20 draws uniform 20-bit keys (the paper's default key space;
+	// §4.5.1).
+	Uniform20 KeyDist = iota
+	// Uniform7 draws uniform 7-bit keys — the degenerate shallow-queue case
+	// the paper discusses ("with 7-bit keys the relaxed priority queues are
+	// all too shallow to scale").
+	Uniform7
+	// Normal20 draws from a normal distribution centered in the 20-bit key
+	// space (the paper's insert-workload distribution, §3.2/§4.1).
+	Normal20
+	// Uniform64 draws full-width keys (effectively duplicate-free).
+	Uniform64
+)
+
+// String names the distribution for experiment output.
+func (d KeyDist) String() string {
+	switch d {
+	case Uniform20:
+		return "uniform20"
+	case Uniform7:
+		return "uniform7"
+	case Normal20:
+		return "normal20"
+	case Uniform64:
+		return "uniform64"
+	default:
+		return "unknown"
+	}
+}
+
+// Draw produces one key from the distribution.
+func (d KeyDist) Draw(r *xrand.Rand) uint64 {
+	switch d {
+	case Uniform20:
+		return r.Uint64() & (1<<20 - 1)
+	case Uniform7:
+		return r.Uint64() & (1<<7 - 1)
+	case Normal20:
+		v := float64(1<<19) + r.NormFloat64()*float64(1<<17)
+		if v < 0 {
+			v = 0
+		}
+		if v >= 1<<20 {
+			v = 1<<20 - 1
+		}
+		return uint64(v)
+	case Uniform64:
+		return r.Uint64()
+	default:
+		panic("harness: unknown key distribution")
+	}
+}
+
+// Mix describes an operation mix as the percentage of inserts; the
+// remainder are extractions. The paper's microbenchmarks use 100, 66 and
+// 50.
+type Mix int
+
+// IsInsert decides the next operation from the mix and r.
+func (m Mix) IsInsert(r *xrand.Rand) bool {
+	if m >= 100 {
+		return true
+	}
+	return int(r.Uint64n(100)) < int(m)
+}

@@ -1,0 +1,208 @@
+package klsm
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestEmpty(t *testing.T) {
+	q := New(8)
+	h := q.Handle()
+	defer h.Release()
+	if _, ok := h.ExtractMax(); ok {
+		t.Fatal("extract from empty klsm succeeded")
+	}
+	if q.Len() != 0 {
+		t.Fatal("Len != 0")
+	}
+}
+
+func TestDefaultK(t *testing.T) {
+	q := New(0)
+	if q.k != DefaultK {
+		t.Fatalf("k = %d, want %d", q.k, DefaultK)
+	}
+}
+
+func TestSingleHandleStrictWithinK(t *testing.T) {
+	// With one handle and fewer than k elements, everything stays local
+	// and extraction is exact.
+	q := New(128)
+	h := q.Handle()
+	defer h.Release()
+	r := xrand.New(3)
+	keys := make([]uint64, 100)
+	for i := range keys {
+		keys[i] = r.Uint64()
+		h.Insert(keys[i])
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] > keys[j] })
+	for i, w := range keys {
+		got, ok := h.ExtractMax()
+		if !ok || got != w {
+			t.Fatalf("extract %d = (%d,%v), want %d", i, got, ok, w)
+		}
+	}
+}
+
+func TestSpillToGlobal(t *testing.T) {
+	q := New(16)
+	h := q.Handle()
+	defer h.Release()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		h.Insert(uint64(i))
+	}
+	if g := int(q.globalN.Load()); g == 0 {
+		t.Fatal("no spill to global component despite overflow")
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d, want %d", q.Len(), n)
+	}
+	// Single handle still sees the true maximum (max of local/global).
+	got, ok := h.ExtractMax()
+	if !ok || got != n-1 {
+		t.Fatalf("extract = (%d,%v), want %d", got, ok, n-1)
+	}
+}
+
+func TestConservationSingleHandle(t *testing.T) {
+	q := New(32)
+	h := q.Handle()
+	defer h.Release()
+	r := xrand.New(12)
+	in := map[uint64]int{}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		k := r.Uint64() % 10000
+		h.Insert(k)
+		in[k]++
+	}
+	out := map[uint64]int{}
+	for i := 0; i < n; i++ {
+		k, ok := h.ExtractMax()
+		if !ok {
+			t.Fatalf("extract %d failed", i)
+		}
+		out[k]++
+	}
+	for k, c := range in {
+		if out[k] != c {
+			t.Fatalf("key %d: in %d out %d", k, c, out[k])
+		}
+	}
+}
+
+func TestLocalInvisibility(t *testing.T) {
+	// The documented k-LSM weakness: elements in one handle's local
+	// component are invisible to another handle.
+	q := New(64)
+	a, b := q.Handle(), q.Handle()
+	defer a.Release()
+	defer b.Release()
+	a.Insert(42) // stays in a's local component (below k)
+	if _, ok := b.ExtractMax(); ok {
+		t.Fatal("handle b extracted an element parked in a's local LSM — " +
+			"simplification broke the k-LSM semantics the paper contrasts")
+	}
+	if k, ok := a.ExtractMax(); !ok || k != 42 {
+		t.Fatal("owner could not extract its own local element")
+	}
+}
+
+func TestReleaseSpillsLocal(t *testing.T) {
+	q := New(64)
+	a := q.Handle()
+	a.Insert(42)
+	a.Release()
+	b := q.Handle()
+	defer b.Release()
+	if k, ok := b.ExtractMax(); !ok || k != 42 {
+		t.Fatalf("Release did not spill local elements: got (%d,%v)", k, ok)
+	}
+}
+
+func TestHandleReuse(t *testing.T) {
+	q := New(8)
+	a := q.Handle()
+	a.Release()
+	b := q.Handle()
+	if a != b {
+		t.Fatal("released handle not reused")
+	}
+	b.Release()
+}
+
+func TestConcurrentHandles(t *testing.T) {
+	q := New(32)
+	const goroutines = 8
+	perG := 5000
+	if testing.Short() {
+		perG = 1000
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := map[uint64]int{}
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := q.Handle()
+			r := xrand.New(uint64(g) + 9)
+			local := map[uint64]int{}
+			for i := 0; i < perG; i++ {
+				h.Insert(uint64(g)<<32 | uint64(i))
+				if r.Intn(2) == 0 {
+					if k, ok := h.ExtractMax(); ok {
+						local[k]++
+					}
+				}
+			}
+			// Drain local leftovers into the global component.
+			h.Release()
+			mu.Lock()
+			for k, c := range local {
+				seen[k] += c
+			}
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	h := q.Handle()
+	for {
+		k, ok := h.ExtractMax()
+		if !ok {
+			break
+		}
+		seen[k]++
+	}
+	h.Release()
+	total := goroutines * perG
+	if len(seen) != total {
+		t.Fatalf("saw %d distinct keys, want %d", len(seen), total)
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Fatalf("key %d seen %d times", k, c)
+		}
+	}
+}
+
+func BenchmarkInsertExtract(b *testing.B) {
+	q := New(256)
+	b.RunParallel(func(pb *testing.PB) {
+		h := q.Handle()
+		defer h.Release()
+		r := xrand.New(uint64(b.N))
+		for pb.Next() {
+			if r.Intn(2) == 0 {
+				h.Insert(r.Uint64() % (1 << 20))
+			} else {
+				h.ExtractMax()
+			}
+		}
+	})
+}

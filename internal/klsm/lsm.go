@@ -1,0 +1,111 @@
+package klsm
+
+// This file implements the log-structured-merge component both the local
+// and global halves of the k-LSM are built from: a collection of sorted
+// runs whose sizes follow the binary-counter discipline. Inserting one
+// element creates a 1-element run; whenever two runs of equal size exist
+// they are merged, so a component holding n elements has at most ⌈log2 n⌉+1
+// runs and insertion costs amortized O(log n) with O(n) worst-case merges —
+// the LSM trade-off the original k-LSM paper exploits for cheap thread-
+// local insertion.
+
+// run is a sorted-ascending slice; the run maximum is its last element.
+type run []uint64
+
+// lsm is a single-owner log-structured merge component.
+type lsm struct {
+	runs []run // maintained with strictly decreasing lengths (binary counter)
+	n    int
+}
+
+func (l *lsm) len() int { return l.n }
+
+// insert adds key as a new unit run and carries merges while the two
+// smallest runs have equal length.
+func (l *lsm) insert(key uint64) {
+	l.runs = append(l.runs, run{key})
+	l.n++
+	for k := len(l.runs); k >= 2 && len(l.runs[k-1]) == len(l.runs[k-2]); k = len(l.runs) {
+		merged := mergeRuns(l.runs[k-2], l.runs[k-1])
+		l.runs = l.runs[:k-2]
+		l.runs = append(l.runs, merged)
+	}
+}
+
+// max returns the component maximum: the largest of the run maxima.
+func (l *lsm) max() (uint64, bool) {
+	if l.n == 0 {
+		return 0, false
+	}
+	best := uint64(0)
+	found := false
+	for _, r := range l.runs {
+		if m := r[len(r)-1]; !found || m > best {
+			best = m
+			found = true
+		}
+	}
+	return best, found
+}
+
+// removeMax removes and returns the component maximum.
+func (l *lsm) removeMax() (uint64, bool) {
+	if l.n == 0 {
+		return 0, false
+	}
+	bestIdx := -1
+	var best uint64
+	for i, r := range l.runs {
+		if m := r[len(r)-1]; bestIdx < 0 || m > best {
+			best = m
+			bestIdx = i
+		}
+	}
+	r := l.runs[bestIdx]
+	l.runs[bestIdx] = r[:len(r)-1]
+	if len(l.runs[bestIdx]) == 0 {
+		l.runs = append(l.runs[:bestIdx], l.runs[bestIdx+1:]...)
+	}
+	l.n--
+	return best, true
+}
+
+// drain empties the component, returning all elements merged ascending.
+func (l *lsm) drain() []uint64 {
+	if l.n == 0 {
+		return nil
+	}
+	out := l.runs[0]
+	for _, r := range l.runs[1:] {
+		out = mergeRuns(out, r)
+	}
+	l.runs = nil
+	l.n = 0
+	return out
+}
+
+// bulkLoad replaces the component's contents with a single sorted run.
+func (l *lsm) bulkLoad(sorted []uint64) {
+	l.runs = l.runs[:0]
+	if len(sorted) > 0 {
+		l.runs = append(l.runs, sorted)
+	}
+	l.n = len(sorted)
+}
+
+func mergeRuns(a, b run) run {
+	out := make(run, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,157 @@
+package klsm
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestLSMEmpty(t *testing.T) {
+	var l lsm
+	if l.len() != 0 {
+		t.Fatal("fresh lsm nonempty")
+	}
+	if _, ok := l.max(); ok {
+		t.Fatal("max of empty succeeded")
+	}
+	if _, ok := l.removeMax(); ok {
+		t.Fatal("removeMax of empty succeeded")
+	}
+	if got := l.drain(); got != nil {
+		t.Fatalf("drain of empty = %v", got)
+	}
+}
+
+func TestLSMBinaryCounterDiscipline(t *testing.T) {
+	var l lsm
+	for i := 1; i <= 1024; i++ {
+		l.insert(uint64(i))
+		// Run lengths must be strictly decreasing and the run count must
+		// equal popcount(i) — the binary-counter invariant.
+		ones := 0
+		for n := i; n > 0; n &= n - 1 {
+			ones++
+		}
+		if len(l.runs) != ones {
+			t.Fatalf("after %d inserts: %d runs, want popcount=%d", i, len(l.runs), ones)
+		}
+		for j := 1; j < len(l.runs); j++ {
+			if len(l.runs[j]) >= len(l.runs[j-1]) {
+				t.Fatalf("after %d inserts: run lengths not decreasing", i)
+			}
+		}
+	}
+}
+
+func TestLSMRunsSorted(t *testing.T) {
+	var l lsm
+	r := xrand.New(4)
+	for i := 0; i < 1000; i++ {
+		l.insert(r.Uint64() % 500)
+	}
+	for ri, run := range l.runs {
+		for j := 1; j < len(run); j++ {
+			if run[j-1] > run[j] {
+				t.Fatalf("run %d unsorted at %d", ri, j)
+			}
+		}
+	}
+}
+
+func TestLSMExtractSortedProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		var l lsm
+		for _, k := range keys {
+			l.insert(k)
+		}
+		if l.len() != len(keys) {
+			return false
+		}
+		sorted := append([]uint64(nil), keys...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+		for _, w := range sorted {
+			got, ok := l.removeMax()
+			if !ok || got != w {
+				return false
+			}
+		}
+		_, ok := l.removeMax()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLSMDrainMergesAscending(t *testing.T) {
+	var l lsm
+	r := xrand.New(9)
+	want := make([]uint64, 300)
+	for i := range want {
+		want[i] = r.Uint64() % 1000
+		l.insert(want[i])
+	}
+	got := l.drain()
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("drain returned %d elements", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if l.len() != 0 {
+		t.Fatal("lsm nonempty after drain")
+	}
+}
+
+func TestLSMBulkLoad(t *testing.T) {
+	var l lsm
+	l.insert(99)
+	l.bulkLoad([]uint64{1, 2, 3})
+	if l.len() != 3 {
+		t.Fatalf("len = %d", l.len())
+	}
+	if m, _ := l.max(); m != 3 {
+		t.Fatalf("max = %d", m)
+	}
+	l.bulkLoad(nil)
+	if l.len() != 0 {
+		t.Fatal("bulkLoad(nil) should empty the lsm")
+	}
+}
+
+func TestGlobalCompaction(t *testing.T) {
+	// Spilling more than 16 runs into the global component must trigger
+	// compaction without losing elements.
+	q := New(4)
+	h := q.Handle()
+	defer h.Release()
+	const n = 200 // 40 spills of 5 at k=4
+	for i := 0; i < n; i++ {
+		h.Insert(uint64(i))
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d, want %d", q.Len(), n)
+	}
+	q.mu.Lock()
+	runs := len(q.global.runs)
+	q.mu.Unlock()
+	if runs > 17 {
+		t.Fatalf("global has %d runs; compaction not triggered", runs)
+	}
+	prev := ^uint64(0)
+	for i := 0; i < n; i++ {
+		k, ok := h.ExtractMax()
+		if !ok {
+			t.Fatalf("extract %d failed", i)
+		}
+		if k > prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		prev = k
+	}
+}

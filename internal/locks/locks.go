@@ -1,0 +1,157 @@
+// Package locks provides the mutual-exclusion primitives compared in §4.1 of
+// the ZMSQ paper: the language-provided sleeping mutex, a test-and-set (TAS)
+// spin trylock, and a test-and-test-and-set (TATAS) spin trylock.
+//
+// ZMSQ's insert path uses an optimistic read-before-lock pattern: reads of a
+// TNode's cached max/min/count are re-validated after acquiring the node's
+// lock, and the operation restarts if validation fails. Because a node that
+// is currently locked is likely to fail validation anyway, it pays to use
+// TryLock and restart immediately rather than queue behind the holder; the
+// restart picks a different random path through the tree. All three lock
+// kinds here therefore expose TryLock in addition to Lock/Unlock so the
+// queue can be configured either way (Figure 2 of the paper).
+package locks
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// TryMutex is a mutual-exclusion lock with a non-blocking acquire.
+// Implementations must be usable from multiple goroutines; the zero value of
+// each concrete type in this package is an unlocked lock.
+type TryMutex interface {
+	Lock()
+	Unlock()
+	// TryLock attempts to acquire the lock without blocking and reports
+	// whether it succeeded.
+	TryLock() bool
+}
+
+// Kind selects a lock implementation.
+type Kind int
+
+const (
+	// Std is the standard library sync.Mutex (a sleeping lock).
+	Std Kind = iota
+	// TAS is a test-and-set spinlock: every acquire attempt is an atomic
+	// exchange, which always invalidates the cache line.
+	TAS
+	// TATAS is a test-and-test-and-set spinlock: acquire spins on a plain
+	// load until the lock appears free, then attempts the exchange. Under
+	// contention this keeps the line in shared state between attempts.
+	TATAS
+)
+
+// String returns the name used in benchmark output.
+func (k Kind) String() string {
+	switch k {
+	case Std:
+		return "std"
+	case TAS:
+		return "tas"
+	case TATAS:
+		return "tatas"
+	default:
+		return "unknown"
+	}
+}
+
+// New returns a fresh unlocked lock of the given kind.
+func New(k Kind) TryMutex {
+	switch k {
+	case Std:
+		return new(StdMutex)
+	case TAS:
+		return new(TASLock)
+	case TATAS:
+		return new(TATASLock)
+	default:
+		panic("locks: unknown kind")
+	}
+}
+
+// Kinds lists every lock kind, for experiment sweeps.
+func Kinds() []Kind { return []Kind{Std, TAS, TATAS} }
+
+// StdMutex adapts sync.Mutex to TryMutex.
+type StdMutex struct {
+	mu sync.Mutex
+}
+
+// Lock acquires the lock, blocking until it is available.
+func (m *StdMutex) Lock() { m.mu.Lock() }
+
+// Unlock releases the lock.
+func (m *StdMutex) Unlock() { m.mu.Unlock() }
+
+// TryLock attempts to acquire the lock without blocking.
+func (m *StdMutex) TryLock() bool { return m.mu.TryLock() }
+
+// spinBudget is how many failed acquire attempts a spinlock makes before
+// yielding the processor. Goroutines are cooperatively scheduled, so an
+// unbounded spin with more goroutines than Ps can livelock; Gosched keeps
+// the spin well-behaved while staying in user space in the common case.
+const spinBudget = 64
+
+// TASLock is a test-and-set spinlock.
+type TASLock struct {
+	state atomic.Uint32
+	_     [15]uint32 // pad to a cache line to avoid false sharing
+}
+
+// Lock acquires the lock, spinning until it is available.
+func (l *TASLock) Lock() {
+	spins := 0
+	for !l.TryLock() {
+		spins++
+		if spins%spinBudget == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// TryLock attempts one atomic exchange.
+func (l *TASLock) TryLock() bool {
+	return l.state.Swap(1) == 0
+}
+
+// Unlock releases the lock. It must only be called by the holder.
+func (l *TASLock) Unlock() {
+	l.state.Store(0)
+}
+
+// TATASLock is a test-and-test-and-set spinlock.
+type TATASLock struct {
+	state atomic.Uint32
+	_     [15]uint32 // pad to a cache line to avoid false sharing
+}
+
+// Lock acquires the lock, spinning on a read until it appears free and then
+// attempting the exchange.
+func (l *TATASLock) Lock() {
+	spins := 0
+	for {
+		if l.TryLock() {
+			return
+		}
+		for l.state.Load() != 0 {
+			spins++
+			if spins%spinBudget == 0 {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// TryLock reads the state first and only attempts the exchange when the lock
+// appears free.
+func (l *TATASLock) TryLock() bool {
+	return l.state.Load() == 0 && l.state.Swap(1) == 0
+}
+
+// Unlock releases the lock. It must only be called by the holder.
+func (l *TATASLock) Unlock() {
+	l.state.Store(0)
+}

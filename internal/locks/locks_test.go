@@ -1,0 +1,130 @@
+package locks
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Std: "std", TAS: "tas", TATAS: "tatas", Kind(99): "unknown"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestNewPanicsOnUnknownKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(unknown) did not panic")
+		}
+	}()
+	New(Kind(42))
+}
+
+func TestKindsCoversAll(t *testing.T) {
+	ks := Kinds()
+	if len(ks) != 3 {
+		t.Fatalf("Kinds() has %d entries, want 3", len(ks))
+	}
+	for _, k := range ks {
+		if New(k) == nil {
+			t.Fatalf("New(%v) returned nil", k)
+		}
+	}
+}
+
+func testMutualExclusion(t *testing.T, mk func() TryMutex) {
+	t.Helper()
+	l := mk()
+	const goroutines = 8
+	const iters = 5000
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d (lost updates)", counter, goroutines*iters)
+	}
+}
+
+func testTryLockSemantics(t *testing.T, mk func() TryMutex) {
+	t.Helper()
+	l := mk()
+	if !l.TryLock() {
+		t.Fatal("TryLock on fresh lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock succeeded while lock was held")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	l.Unlock()
+}
+
+func TestStdMutex(t *testing.T) {
+	testMutualExclusion(t, func() TryMutex { return new(StdMutex) })
+	testTryLockSemantics(t, func() TryMutex { return new(StdMutex) })
+}
+
+func TestTASLock(t *testing.T) {
+	testMutualExclusion(t, func() TryMutex { return new(TASLock) })
+	testTryLockSemantics(t, func() TryMutex { return new(TASLock) })
+}
+
+func TestTATASLock(t *testing.T) {
+	testMutualExclusion(t, func() TryMutex { return new(TATASLock) })
+	testTryLockSemantics(t, func() TryMutex { return new(TATASLock) })
+}
+
+func TestContendedTryLockEventuallySucceeds(t *testing.T) {
+	for _, k := range Kinds() {
+		l := New(k)
+		done := make(chan struct{})
+		go func() {
+			for i := 0; i < 1000; i++ {
+				l.Lock()
+				l.Unlock()
+			}
+			close(done)
+		}()
+		acquired := 0
+		for acquired < 100 {
+			if l.TryLock() {
+				acquired++
+				l.Unlock()
+			}
+		}
+		<-done
+	}
+}
+
+func benchLock(b *testing.B, k Kind) {
+	l := New(k)
+	counter := 0
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.Lock()
+			counter++
+			l.Unlock()
+		}
+	})
+	_ = counter
+}
+
+func BenchmarkLockStd(b *testing.B)   { benchLock(b, Std) }
+func BenchmarkLockTAS(b *testing.B)   { benchLock(b, TAS) }
+func BenchmarkLockTATAS(b *testing.B) { benchLock(b, TATAS) }

@@ -1,0 +1,19 @@
+package mound
+
+import "fmt"
+
+func errNotSorted(level, slot int) error {
+	return fmt.Errorf("mound: node (%d,%d) list not sorted descending", level, slot)
+}
+
+func errBadSize(level, slot int) error {
+	return fmt.Errorf("mound: node (%d,%d) cached size disagrees with list", level, slot)
+}
+
+func errBadTop(level, slot int) error {
+	return fmt.Errorf("mound: node (%d,%d) cached top disagrees with head", level, slot)
+}
+
+func errInvariant(level, slot int) error {
+	return fmt.Errorf("mound: invariant violated at (%d,%d): parent head below child head", level, slot)
+}

@@ -1,0 +1,77 @@
+package pq
+
+import "sync/atomic"
+
+// FIFO is a Michael–Scott lock-free queue presented through the Queue
+// interface: ExtractMax returns elements in insertion order, completely
+// ignoring priority. Table 1 of the paper uses FIFO ordering as the
+// accuracy floor a relaxed priority queue must stay above ("the SprayList
+// is even worse than a FIFO queue" in some configurations).
+type FIFO struct {
+	head atomic.Pointer[fifoNode]
+	tail atomic.Pointer[fifoNode]
+}
+
+type fifoNode struct {
+	key  uint64
+	next atomic.Pointer[fifoNode]
+}
+
+// NewFIFO returns an empty queue.
+func NewFIFO() *FIFO {
+	q := &FIFO{}
+	sentinel := &fifoNode{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// Insert appends key at the tail.
+func (q *FIFO) Insert(key uint64) {
+	n := &fifoNode{key: key}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			// Help a lagging enqueuer swing the tail forward.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			return
+		}
+	}
+}
+
+// ExtractMax removes and returns the oldest key (FIFO order).
+func (q *FIFO) ExtractMax() (uint64, bool) {
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if head == tail {
+			if next == nil {
+				return 0, false
+			}
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		key := next.key
+		if q.head.CompareAndSwap(head, next) {
+			return key, true
+		}
+	}
+}
+
+// Name implements Named.
+func (q *FIFO) Name() string { return "fifo" }
+
+var _ Queue = (*FIFO)(nil)
+var _ Named = (*FIFO)(nil)

@@ -1,0 +1,181 @@
+package sssp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// This file implements delta-stepping (Meyer & Sanders, 2003), the classic
+// bucket-based parallel SSSP that the relaxed-priority-queue literature —
+// including the SprayList paper whose SSSP harness §4.6 adopts — uses as
+// its reference point. It is included as an ablation: a relaxed priority
+// queue buys Dijkstra-like work-efficiency with extraction scalability;
+// delta-stepping instead buys scalability by processing whole distance
+// buckets at once, paying with re-relaxations inside a bucket. Comparing
+// the two on the same graphs shows where the relaxed-queue approach sits.
+
+// DeltaStepping computes shortest paths from src, processing distance
+// range [i·delta, (i+1)·delta) as bucket i. delta <= 0 selects the mean
+// edge weight heuristic. workers <= 0 selects GOMAXPROCS.
+func DeltaStepping(g *graph.Graph, src uint32, delta uint64, workers int) Result {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if delta == 0 {
+		delta = meanWeight(g)
+		if delta == 0 {
+			delta = 1
+		}
+	}
+	n := g.NumNodes()
+	dist := make([]atomic.Uint64, n)
+	for i := range dist {
+		dist[i].Store(graph.Infinity)
+	}
+	dist[src].Store(0)
+
+	// buckets[i] holds nodes whose tentative distance fell into bucket i.
+	// A node can appear in several buckets; stale entries are skipped at
+	// processing time, exactly like the queue driver's stale check.
+	var mu sync.Mutex
+	buckets := map[uint64][]uint32{0: {src}}
+
+	var processed, stale, updates atomic.Int64
+	start := time.Now()
+	for {
+		// Find the lowest nonempty bucket.
+		mu.Lock()
+		var cur uint64
+		found := false
+		for b := range buckets {
+			if !found || b < cur {
+				cur = b
+				found = true
+			}
+		}
+		if !found {
+			mu.Unlock()
+			break
+		}
+		frontier := buckets[cur]
+		delete(buckets, cur)
+		mu.Unlock()
+
+		// Process the bucket until it stops refilling (light edges can
+		// re-add nodes to the current bucket).
+		for len(frontier) > 0 {
+			next := processBucket(g, frontier, cur, delta, dist,
+				&mu, buckets, workers, &processed, &stale, &updates)
+			frontier = next
+		}
+	}
+	elapsed := time.Since(start)
+
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = dist[i].Load()
+	}
+	return Result{
+		Dist:      out,
+		Elapsed:   elapsed,
+		Processed: processed.Load(),
+		Stale:     stale.Load(),
+		Updates:   updates.Load(),
+		Workers:   workers,
+	}
+}
+
+// processBucket relaxes all edges out of the frontier in parallel and
+// returns the nodes that re-entered the current bucket.
+func processBucket(g *graph.Graph, frontier []uint32, bucket, delta uint64,
+	dist []atomic.Uint64, mu *sync.Mutex, buckets map[uint64][]uint32,
+	workers int, processed, stale, updates *atomic.Int64) []uint32 {
+
+	if workers > len(frontier) {
+		workers = len(frontier)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var redo []uint32
+	var redoMu sync.Mutex
+	var wg sync.WaitGroup
+	chunk := (len(frontier) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(frontier) {
+			hi = len(frontier)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []uint32) {
+			defer wg.Done()
+			var localRedo []uint32
+			localNew := map[uint64][]uint32{}
+			var localProcessed, localStale, localUpdates int64
+			for _, u := range part {
+				du := dist[u].Load()
+				if du/delta != bucket {
+					localStale++ // moved to another bucket since enqueued
+					continue
+				}
+				localProcessed++
+				targets, weights := g.Neighbors(u)
+				for i, v := range targets {
+					nd := du + uint64(weights[i])
+					for {
+						cur := dist[v].Load()
+						if nd >= cur {
+							break
+						}
+						if dist[v].CompareAndSwap(cur, nd) {
+							localUpdates++
+							b := nd / delta
+							if b == bucket {
+								localRedo = append(localRedo, v)
+							} else {
+								localNew[b] = append(localNew[b], v)
+							}
+							break
+						}
+					}
+				}
+			}
+			if len(localNew) > 0 {
+				mu.Lock()
+				for b, nodes := range localNew {
+					buckets[b] = append(buckets[b], nodes...)
+				}
+				mu.Unlock()
+			}
+			if len(localRedo) > 0 {
+				redoMu.Lock()
+				redo = append(redo, localRedo...)
+				redoMu.Unlock()
+			}
+			processed.Add(localProcessed)
+			stale.Add(localStale)
+			updates.Add(localUpdates)
+		}(frontier[lo:hi])
+	}
+	wg.Wait()
+	return redo
+}
+
+func meanWeight(g *graph.Graph) uint64 {
+	if len(g.Weights) == 0 {
+		return 1
+	}
+	var sum uint64
+	for _, w := range g.Weights {
+		sum += uint64(w)
+	}
+	return sum / uint64(len(g.Weights))
+}

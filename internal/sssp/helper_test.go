@@ -1,0 +1,5 @@
+package sssp
+
+import "repro/internal/core"
+
+func coreDefault() core.Config { return core.DefaultConfig() }

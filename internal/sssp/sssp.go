@@ -1,0 +1,148 @@
+// Package sssp implements the concurrent single-source shortest path
+// harness of §4.6/§4.7: a label-correcting parallel Dijkstra driven by any
+// (possibly relaxed) concurrent priority queue. Workers repeatedly extract
+// the nearest-looking task, skip it if it is stale, and relax out-edges
+// with CAS-min distance updates. A relaxed queue returns tasks slightly out
+// of order; the algorithm stays correct (distances only ever decrease to
+// their true values) but pays for relaxation with wasted re-expansions —
+// the exact trade-off the paper's SSSP experiments measure.
+package sssp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// EncodeTask packs (dist, node) into a priority key for a max-queue:
+// smaller distances must come out first, so the distance is bitwise
+// inverted in the high 32 bits. Distances are capped at 2^32-2; the graphs
+// in this repository stay far below that.
+func EncodeTask(dist uint64, node uint32) uint64 {
+	if dist > 0xfffffffe {
+		dist = 0xfffffffe
+	}
+	return ^dist<<32 | uint64(node)
+}
+
+// DecodeTask unpacks a key produced by EncodeTask.
+func DecodeTask(key uint64) (dist uint64, node uint32) {
+	return ^(key >> 32) & 0xffffffff, uint32(key)
+}
+
+// Result carries the distances and the work accounting for one run.
+type Result struct {
+	Dist      []uint64
+	Elapsed   time.Duration
+	Processed int64 // tasks extracted and expanded
+	Stale     int64 // tasks extracted but already superseded (wasted work)
+	Updates   int64 // successful distance improvements
+	Workers   int
+}
+
+// WastedFraction is the share of extracted tasks that were stale.
+func (r Result) WastedFraction() float64 {
+	total := r.Processed + r.Stale
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Stale) / float64(total)
+}
+
+// Run computes shortest paths from src over q with the given number of
+// worker goroutines. q must be empty; it is drained (terminated) when Run
+// returns. Any pq.Queue works: strict queues yield zero stale extractions
+// on one worker; relaxed queues trade stale work for extraction
+// scalability.
+func Run(g *graph.Graph, src uint32, q pq.Queue, workers int) Result {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.NumNodes()
+	dist := make([]atomic.Uint64, n)
+	for i := range dist {
+		dist[i].Store(graph.Infinity)
+	}
+	dist[src].Store(0)
+
+	// pending counts tasks that have been inserted but whose processing has
+	// not finished. A worker decrements only after finishing all inserts a
+	// task triggers, so pending == 0 with an empty queue means termination.
+	var pending atomic.Int64
+	pending.Add(1)
+	q.Insert(EncodeTask(0, src))
+
+	var processed, stale, updates atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var localProcessed, localStale, localUpdates int64
+			idleSpins := 0
+			for {
+				key, ok := q.ExtractMax()
+				if !ok {
+					if pending.Load() == 0 {
+						break
+					}
+					// Relaxed queues may fail spuriously (SprayList) or
+					// transiently; yield and retry while work remains.
+					idleSpins++
+					if idleSpins%64 == 0 {
+						runtime.Gosched()
+					}
+					continue
+				}
+				idleSpins = 0
+				d, u := DecodeTask(key)
+				if d > dist[u].Load() {
+					localStale++
+					pending.Add(-1)
+					continue
+				}
+				localProcessed++
+				targets, weights := g.Neighbors(u)
+				for i, v := range targets {
+					nd := d + uint64(weights[i])
+					for {
+						cur := dist[v].Load()
+						if nd >= cur {
+							break
+						}
+						if dist[v].CompareAndSwap(cur, nd) {
+							localUpdates++
+							pending.Add(1)
+							q.Insert(EncodeTask(nd, v))
+							break
+						}
+					}
+				}
+				pending.Add(-1)
+			}
+			processed.Add(localProcessed)
+			stale.Add(localStale)
+			updates.Add(localUpdates)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = dist[i].Load()
+	}
+	return Result{
+		Dist:      out,
+		Elapsed:   elapsed,
+		Processed: processed.Load(),
+		Stale:     stale.Load(),
+		Updates:   updates.Load(),
+		Workers:   workers,
+	}
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyRecorder is a concurrent, fixed-memory latency histogram. Samples
+// are recorded into log2 buckets with 16 linear sub-buckets each, giving a
+// worst-case quantile error of about 6% — ample for the producer/consumer
+// handoff experiment (Figure 4), where the paper reports latencies spanning
+// 133ns to tens of microseconds.
+//
+// Record is wait-free (one atomic add) so it can sit on the measurement hot
+// path of every consumer goroutine without serializing them.
+type LatencyRecorder struct {
+	// 64 log2 major buckets x 16 linear minor buckets.
+	buckets [64 * 16]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// NewLatencyRecorder returns an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder {
+	return &LatencyRecorder{}
+}
+
+func bucketIndex(ns uint64) int {
+	if ns < 16 {
+		return int(ns) // first major bucket is exact
+	}
+	major := 63 - bits.LeadingZeros64(ns)
+	minor := (ns >> (uint(major) - 4)) & 15
+	return major*16 + int(minor)
+}
+
+// bucketLow returns the inclusive lower bound of bucket i, the inverse of
+// bucketIndex up to bucket granularity.
+func bucketLow(i int) uint64 {
+	major := i / 16
+	minor := uint64(i % 16)
+	if major == 0 {
+		return minor
+	}
+	return 1<<uint(major) | minor<<(uint(major)-4)
+}
+
+// Record adds one duration sample.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	ns := uint64(d)
+	if int64(d) < 0 {
+		ns = 0
+	}
+	r.buckets[bucketIndex(ns)].Add(1)
+	r.count.Add(1)
+	r.sum.Add(ns)
+}
+
+// Count returns the number of recorded samples.
+func (r *LatencyRecorder) Count() uint64 { return r.count.Load() }
+
+// Mean returns the mean recorded latency.
+func (r *LatencyRecorder) Mean() time.Duration {
+	n := r.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(r.sum.Load() / n)
+}
+
+// Quantile returns an estimate of the q-th quantile (0 < q <= 1) of the
+// recorded latencies. It returns 0 when no samples have been recorded.
+func (r *LatencyRecorder) Quantile(q float64) time.Duration {
+	total := r.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var seen uint64
+	for i := range r.buckets {
+		c := r.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		if seen+c > target {
+			return time.Duration(bucketLow(i))
+		}
+		seen += c
+	}
+	return time.Duration(bucketLow(len(r.buckets) - 1))
+}
+
+// String summarizes the distribution for experiment logs.
+func (r *LatencyRecorder) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v",
+		r.Count(), r.Mean(), r.Quantile(0.50), r.Quantile(0.99))
+}
+
+// Merge adds all samples recorded in other into r. It is intended for
+// combining per-goroutine recorders after a run and must not race with
+// concurrent Record calls on other.
+func (r *LatencyRecorder) Merge(other *LatencyRecorder) {
+	for i := range other.buckets {
+		if c := other.buckets[i].Load(); c != 0 {
+			r.buckets[i].Add(c)
+		}
+	}
+	r.count.Add(other.count.Load())
+	r.sum.Add(other.sum.Load())
+}

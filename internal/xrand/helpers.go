@@ -1,0 +1,10 @@
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+func mul64(x, y uint64) (hi, lo uint64) { return bits.Mul64(x, y) }
+
+func mathLog(x float64) float64 { return math.Log(x) }

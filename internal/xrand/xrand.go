@@ -1,0 +1,150 @@
+// Package xrand provides small, fast, allocation-free pseudo-random number
+// generators for use on benchmark and data-structure hot paths.
+//
+// The generators here are deliberately not cryptographically secure. They
+// exist because math/rand's global functions serialize on a mutex and
+// math/rand.New allocates, both of which distort concurrent benchmarks. Each
+// generator is a plain value that the caller owns; a generator must not be
+// shared between goroutines without external synchronization.
+package xrand
+
+// SplitMix64 is the splitmix64 generator of Steele, Lea, and Flood. It is
+// primarily used to seed other generators and to hash small integers into
+// well-distributed 64-bit values.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) SplitMix64 {
+	return SplitMix64{state: seed}
+}
+
+// Next returns the next value in the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 hashes x through one splitmix64 round. It is stateless and useful
+// for deriving independent seeds from loop indices.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Rand is a xoshiro256** generator: fast, 256 bits of state, and
+// statistically strong enough for workload generation and randomized
+// data-structure decisions (leaf selection, spray walks, queue choice).
+type Rand struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a Rand seeded from seed via splitmix64, per the xoshiro
+// authors' recommendation. A zero seed is valid.
+func New(seed uint64) *Rand {
+	var r Rand
+	r.Seed(seed)
+	return &r
+}
+
+// Seed resets the generator state deterministically from seed.
+func (r *Rand) Seed(seed uint64) {
+	sm := NewSplitMix64(seed)
+	r.s0 = sm.Next()
+	r.s1 = sm.Next()
+	r.s2 = sm.Next()
+	r.s3 = sm.Next()
+	// xoshiro requires not-all-zero state; splitmix output of any seed
+	// cannot produce four zeros, but guard anyway.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s3 = 1
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Uint32 returns a uniformly distributed 32-bit value.
+func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniformly distributed value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniformly distributed value in [0, n) using Lemire's
+// multiply-shift reduction (no modulo on the hot path). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	// 128-bit multiply high: (r.Uint64() * n) >> 64.
+	x := r.Uint64()
+	hi, _ := mul64(x, n)
+	return hi
+}
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a normally distributed value with mean 0 and standard
+// deviation 1, using the ratio-of-uniforms method of Leva. The paper's
+// insert-heavy workloads draw keys from a normal distribution.
+func (r *Rand) NormFloat64() float64 {
+	// Leva's ratio-of-uniforms algorithm: fast, no trig, no tables.
+	const (
+		s = 0.449871
+		t = -0.386595
+		a = 0.19600
+		b = 0.25472
+	)
+	for {
+		u := 1.0 - r.Float64()
+		v := 1.7156 * (r.Float64() - 0.5)
+		x := u - s
+		y := abs(v) - t
+		q := x*x + y*(a*y-b*x)
+		if q < 0.27597 {
+			return v / u
+		}
+		if q > 0.27846 {
+			continue
+		}
+		if v*v <= -4.0*u*u*logf(u) {
+			return v / u
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// logf is a thin wrapper so the hot path above reads cleanly.
+func logf(x float64) float64 { return mathLog(x) }

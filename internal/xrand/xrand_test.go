@@ -1,0 +1,184 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("splitmix64 diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 0 from the splitmix64 reference
+	// implementation (first three outputs).
+	s := NewSplitMix64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+	}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Fatalf("output %d: got %#x want %#x", i, got, w)
+		}
+	}
+}
+
+func TestMix64NonTrivial(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := uint64(0); i < 10000; i++ {
+		v := Mix64(i)
+		if seen[v] {
+			t.Fatalf("Mix64 collision at input %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("xoshiro diverged at step %d", i)
+		}
+	}
+}
+
+func TestRandSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(99)
+	for n := 1; n <= 64; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestUint64nRangeProperty(t *testing.T) {
+	r := New(123)
+	f := func(seed uint64, nRaw uint64) bool {
+		n := nRaw%1_000_000 + 1
+		v := r.Uint64n(n)
+		return v < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nRoughlyUniform(t *testing.T) {
+	r := New(5)
+	const n, samples = 10, 100000
+	var buckets [n]int
+	for i := 0; i < samples; i++ {
+		buckets[r.Uint64n(n)]++
+	}
+	want := samples / n
+	for i, c := range buckets {
+		if c < want*8/10 || c > want*12/10 {
+			t.Fatalf("bucket %d has %d samples, want about %d", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(2024)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want about 0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v, want about 1", variance)
+	}
+}
+
+func TestSeedResetsSequence(t *testing.T) {
+	r := New(3)
+	first := make([]uint64, 10)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Seed(3)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("after reseed, output %d = %#x want %#x", i, got, first[i])
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.NormFloat64()
+	}
+	_ = sink
+}

@@ -1,0 +1,87 @@
+// Package repro is a from-scratch Go reproduction of "A Practical,
+// Scalable, Relaxed Priority Queue" (Zhou, Michael, Spear — ICPP 2019),
+// the ZMSQ algorithm that ships in Facebook Folly as
+// RelaxedConcurrentPriorityQueue.
+//
+// The root package is the public facade over internal/core: a generic
+// concurrent max-priority queue with tunable relaxation.
+//
+//	q := repro.New[string](repro.DefaultConfig())
+//	q.Insert(10, "low")
+//	q.Insert(99, "high")
+//	k, v, ok := q.TryExtractMax() // 99, "high", true
+//
+// The queue's relaxation contract: with Config.Batch = b, the true maximum
+// is returned at least once in any b+1 consecutive extractions, and
+// k·(b+1) extractions return the top k elements — independent of how many
+// goroutines are operating. With b = 0 the queue is strict. Extraction
+// never fails while the queue is nonempty; with Config.Blocking set,
+// ExtractMax sleeps on an empty queue until an insert arrives or Close is
+// called.
+//
+// The repository also contains the paper's baselines (mound, SprayList,
+// MultiQueue, k-LSM), the experiment harness that regenerates every table
+// and figure of the evaluation (see DESIGN.md and EXPERIMENTS.md), and
+// runnable examples under examples/.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/locks"
+)
+
+// Queue is a ZMSQ relaxed concurrent priority queue holding (uint64, V)
+// pairs; larger keys have higher priority. All methods are safe for
+// concurrent use. See the package documentation for the relaxation
+// contract.
+type Queue[V any] = core.Queue[V]
+
+// Config selects a queue variant; see DefaultConfig and the field
+// documentation.
+type Config = core.Config
+
+// TreeStats is a diagnostic snapshot of the queue's internal tree shape.
+type TreeStats = core.TreeStats
+
+// LockKind selects the per-node lock implementation (§4.1 of the paper).
+type LockKind = locks.Kind
+
+// Lock implementations: the standard library mutex, a test-and-set
+// trylock, and a test-and-test-and-set trylock (the recommended default).
+const (
+	LockStd   LockKind = locks.Std
+	LockTAS   LockKind = locks.TAS
+	LockTATAS LockKind = locks.TATAS
+)
+
+// DefaultBatch and DefaultTargetLen are the paper's recommended tuning
+// (§4.2).
+const (
+	DefaultBatch     = core.DefaultBatch
+	DefaultTargetLen = core.DefaultTargetLen
+)
+
+// New returns an empty queue configured by cfg.
+func New[V any](cfg Config) *Queue[V] { return core.New[V](cfg) }
+
+// DefaultConfig returns the paper's recommended configuration: batch = 48,
+// targetLen = 72, TATAS trylocks, hazard-pointer memory safety, blocking
+// disabled.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewBlocking returns a queue with the §3.6 blocking mechanism enabled:
+// ExtractMax sleeps while the queue is empty and Insert wakes sleeping
+// consumers through a dispersed futex ring.
+func NewBlocking[V any]() *Queue[V] {
+	cfg := core.DefaultConfig()
+	cfg.Blocking = true
+	return core.New[V](cfg)
+}
+
+// NewStrict returns a non-relaxed queue (batch = 0): every ExtractMax
+// returns the true maximum, with mound-equivalent concurrency.
+func NewStrict[V any]() *Queue[V] {
+	cfg := core.DefaultConfig()
+	cfg.Batch = 0
+	return core.New[V](cfg)
+}

@@ -1,0 +1,93 @@
+package repro_test
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	q := repro.New[string](repro.DefaultConfig())
+	q.Insert(10, "low")
+	q.Insert(99, "high")
+	k, v, ok := q.TryExtractMax()
+	if !ok || k != 99 || v != "high" {
+		t.Fatalf("got (%d,%q,%v)", k, v, ok)
+	}
+}
+
+func TestPublicStrictOrdering(t *testing.T) {
+	q := repro.NewStrict[int]()
+	keys := []uint64{5, 1, 9, 7, 3}
+	for i, k := range keys {
+		q.Insert(k, i)
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	for _, w := range sorted {
+		k, _, ok := q.TryExtractMax()
+		if !ok || k != w {
+			t.Fatalf("got (%d,%v), want %d", k, ok, w)
+		}
+	}
+}
+
+func TestPublicBlocking(t *testing.T) {
+	q := repro.NewBlocking[int]()
+	var wg sync.WaitGroup
+	const n = 1000
+	got := make([]int, 0, n)
+	var mu sync.Mutex
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				_, v, ok := q.ExtractMax()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				got = append(got, v)
+				done := len(got) == n
+				mu.Unlock()
+				if done {
+					q.Close()
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		q.Insert(uint64(i), i)
+	}
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("consumed %d of %d", len(got), n)
+	}
+}
+
+func TestPublicConfigKnobs(t *testing.T) {
+	cfg := repro.Config{
+		Batch:     4,
+		TargetLen: 8,
+		Lock:      repro.LockTATAS,
+		ArraySet:  true,
+	}
+	q := repro.New[struct{}](cfg)
+	for i := 0; i < 100; i++ {
+		q.Insert(uint64(i), struct{}{})
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	st := q.Stats()
+	if st.Elements != 100 {
+		t.Fatalf("Stats.Elements = %d", st.Elements)
+	}
+	if repro.DefaultBatch != 48 || repro.DefaultTargetLen != 72 {
+		t.Fatal("paper defaults changed")
+	}
+}
