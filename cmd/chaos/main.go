@@ -1,0 +1,130 @@
+// Command chaos runs seeded fault-injection schedules against ZMSQ (and
+// optionally the baseline queues), checking the robustness contracts the
+// paper claims: structural invariants between rounds, element
+// conservation, extraction-never-fails on a nonempty queue (§3.7), and
+// the b+1 relaxation window (§3.3). It exits nonzero if any contract is
+// violated, so it can gate CI.
+//
+//	chaos -seed 1 -rounds 4 -producers 4 -consumers 4 -ops 2000
+//	chaos -seeds 16            # sweep 16 seeds
+//	chaos -baselines           # also run conservation checks on baselines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/harness"
+	"repro/internal/locks"
+)
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 1, "base seed for the fault schedule and workload")
+		seeds     = flag.Int("seeds", 1, "number of consecutive seeds to sweep")
+		rounds    = flag.Int("rounds", 4, "mixed+strict rounds per run")
+		producers = flag.Int("producers", 4, "producer goroutines")
+		consumers = flag.Int("consumers", 4, "consumer goroutines")
+		ops       = flag.Int("ops", 2000, "inserts per producer per round")
+		batch     = flag.Int("batch", 8, "queue batch (relaxation) parameter")
+		target    = flag.Int("target", 8, "queue targetLen parameter")
+		trylock   = flag.Int("trylock", 20, "forced trylock-failure percentage")
+		handoff   = flag.Int("handoff", 25, "pool-handoff stall percentage")
+		hazard    = flag.Int("hazard", 50, "hazard-scan stall percentage")
+		grow      = flag.Int("grow", 75, "tree-growth stall percentage")
+		baselines = flag.Bool("baselines", false, "also run conservation chaos over the baselines")
+	)
+	flag.Parse()
+
+	plan := harness.ChaosPlan{
+		Rounds:      *rounds,
+		Producers:   *producers,
+		Consumers:   *consumers,
+		OpsPerRound: *ops,
+		Faults: fault.Plan{
+			TryLockPct:        *trylock,
+			PoolHandoffPct:    *handoff,
+			PoolHandoffYields: 8,
+			HazardScanPct:     *hazard,
+			HazardScanYields:  16,
+			TreeGrowPct:       *grow,
+			TreeGrowYields:    32,
+		},
+		Queue: core.Config{
+			Batch:     *batch,
+			TargetLen: *target,
+			Lock:      locks.TATAS,
+		},
+		Keys: harness.Uniform20,
+	}
+
+	if err := plan.Queue.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	failed := false
+	fmt.Printf("%-12s %-10s %9s %9s %7s %9s %8s %7s\n",
+		"queue", "seed", "inserted", "extracted", "failed", "strict", "maxrank", "run")
+	for s := 0; s < *seeds; s++ {
+		plan.Seed = *seed + uint64(s)
+		res, err := harness.RunChaos(plan)
+		printResult(res, plan.Seed)
+		if err != nil {
+			failed = true
+			reportFailure(res, err)
+		}
+	}
+
+	if *baselines {
+		makers := harness.BaselineMakers()
+		names := make([]string, 0, len(makers))
+		for name := range makers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			plan.Seed = *seed
+			res, err := harness.RunChaosBaseline(name, makers[name], plan)
+			printResult(res, plan.Seed)
+			if err != nil {
+				failed = true
+				reportFailure(res, err)
+			}
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("# all contracts held")
+}
+
+func printResult(res harness.ChaosResult, seed uint64) {
+	fmt.Printf("%-12s %-10d %9d %9d %7d %9d %8d %7d\n",
+		res.Name, seed, res.Inserted, res.Extracted, res.FailedExtracts,
+		res.Report.StrictExtracts, res.Report.MaxStrictRank, res.Report.WorstRun)
+	if len(res.FaultFired) > 0 {
+		points := make([]string, 0, len(res.FaultFired))
+		for p := range res.FaultFired {
+			points = append(points, p)
+		}
+		sort.Strings(points)
+		fmt.Printf("#   faults:")
+		for _, p := range points {
+			fmt.Printf(" %s=%d/%d", p, res.FaultFired[p], res.FaultCalls[p])
+		}
+		fmt.Println()
+	}
+}
+
+func reportFailure(res harness.ChaosResult, err error) {
+	fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", res.Name, err)
+	for _, v := range res.Report.Violations {
+		fmt.Fprintf(os.Stderr, "  violation: %s\n", v)
+	}
+}

@@ -20,8 +20,10 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/locks"
 )
 
@@ -102,6 +104,39 @@ type Config struct {
 	// fixed default seed; runs with equal seeds and a single goroutine are
 	// deterministic.
 	Seed uint64
+
+	// Faults, when non-nil, injects deterministic faults at the queue's
+	// four riskiest synchronization surfaces: TNode trylock acquisition,
+	// pool-slot handoff, hazard-pointer reclamation scans, and tree
+	// growth. For chaos testing only — nil (the default) compiles the
+	// hooks down to a single predictable branch per site.
+	Faults *fault.Injector
+}
+
+// Validate reports a descriptive error for nonsensical configurations
+// instead of letting them surface as silent clamping or a panic deep in a
+// subsystem. Zero values are always valid (they select defaults). New
+// calls Validate and panics on error; callers constructing configs from
+// external input should call it themselves first.
+func (c Config) Validate() error {
+	if c.Batch < 0 {
+		return fmt.Errorf("zmsq: Config.Batch is %d; it must be >= 0 (0 disables the extraction pool)", c.Batch)
+	}
+	if c.TargetLen < 0 {
+		return fmt.Errorf("zmsq: Config.TargetLen is %d; it must be >= 0 (0 selects the default %d)", c.TargetLen, DefaultTargetLen)
+	}
+	if c.RingSize < 0 {
+		return fmt.Errorf("zmsq: Config.RingSize is %d; it must be >= 0 (0 selects the default ring size)", c.RingSize)
+	}
+	if c.HelperInterval < 0 {
+		return fmt.Errorf("zmsq: Config.HelperInterval is %v; it must be >= 0 (0 selects the default)", c.HelperInterval)
+	}
+	switch c.Lock {
+	case locks.Std, locks.TAS, locks.TATAS:
+	default:
+		return fmt.Errorf("zmsq: Config.Lock is unknown kind %d; valid kinds are %v", int(c.Lock), locks.Kinds())
+	}
+	return nil
 }
 
 // DefaultConfig returns the paper's recommended configuration: batch = 48,
@@ -114,13 +149,12 @@ func DefaultConfig() Config {
 	}
 }
 
-// withDefaults fills unset fields that have non-zero defaults.
+// withDefaults fills unset fields that have non-zero defaults. Nonsensical
+// values are rejected by Validate before this runs; withDefaults only maps
+// zero ("unset") to the documented defaults.
 func (c Config) withDefaults() Config {
-	if c.TargetLen <= 0 {
+	if c.TargetLen == 0 {
 		c.TargetLen = DefaultTargetLen
-	}
-	if c.Batch < 0 {
-		c.Batch = 0
 	}
 	if c.Seed == 0 {
 		c.Seed = 0x5eed5eed5eed5eed

@@ -1,6 +1,20 @@
 package core
 
-import "runtime"
+import (
+	"context"
+	"errors"
+	"runtime"
+
+	"repro/internal/fault"
+)
+
+// ErrClosed is returned by ExtractMaxContext when the queue has been
+// closed and fully drained.
+var ErrClosed = errors.New("zmsq: queue closed and drained")
+
+// ErrEmpty is returned by ExtractMaxContext on a non-blocking queue when
+// the queue is observed empty (there is no wait mechanism to sleep on).
+var ErrEmpty = errors.New("zmsq: queue empty")
 
 // This file implements Listing 2 of the paper: pool claims by
 // fetch-and-decrement, pool refill from the root (reserving the maximum for
@@ -43,11 +57,18 @@ func (q *Queue[V]) ExtractMax() (key uint64, val V, ok bool) {
 	}
 	// The ticket argument (§3.6): once a consumer's ticket is covered by an
 	// insert, the queue holds at least one element until this consumer
-	// takes one, so the loop below terminates.
+	// takes one, so the loop below terminates — unless a non-ticketed
+	// extractor (TryExtractMax, Drain) takes the covered element. That race
+	// matters during shutdown, where CloseAndDrain deliberately empties the
+	// queue, so a closed observation ends the wait instead of spinning on a
+	// queue that will stay empty.
 	for {
 		key, val, ok = q.tryExtract(ctx)
 		if ok {
 			return key, val, true
+		}
+		if q.closed.Load() {
+			return q.tryExtract(ctx)
 		}
 		runtime.Gosched()
 	}
@@ -91,6 +112,10 @@ func (q *Queue[V]) extractFromPool() (uint64, V, bool) {
 	slot := &q.pool[idx]
 	k, v := slot.key, slot.val
 	slot.val = zero
+	// Chaos hook: stall between reading the slot and releasing it,
+	// simulating a lagging consumer so refillers exercise the
+	// wait-for-lagging-consumers loop.
+	q.faults.Stall(fault.PoolHandoff)
 	slot.full.Store(0) // release the slot to future refillers
 	return k, v, true
 }
@@ -106,6 +131,12 @@ func (q *Queue[V]) extractFromRoot(ctx *opCtx[V], force bool) (uint64, V, extrac
 		ctx.h.Protect(0, root)
 	}
 	if q.useTry && !force {
+		// Chaos hook: a forced trylock failure behaves exactly like losing
+		// the race to a concurrent refiller. The force path (attempt >= 16)
+		// deliberately bypasses injection so progress is never starved.
+		if q.faults != nil && q.faults.Fire(fault.TryLock) {
+			return 0, zero, extractRaced
+		}
 		if !root.lock.TryLock() {
 			// Likely a concurrent refill; go back to the pool.
 			return 0, zero, extractRaced
@@ -202,17 +233,78 @@ func (q *Queue[V]) swapDown(ctx *opCtx[V], level, slot int) {
 	}
 }
 
-// Drain removes every element, returning them in extraction order. It is a
-// convenience for tests and shutdown paths; concurrent inserts may extend
-// the drain.
-func (q *Queue[V]) Drain() []element[V] {
-	var out []element[V]
+// Element is one key/value pair handed back by Drain and CloseAndDrain.
+type Element[V any] struct {
+	Key uint64
+	Val V
+}
+
+// Drain removes every element — tree contents plus unclaimed pool entries —
+// returning them in extraction order. It is safe concurrently with other
+// operations (it is a loop of ordinary extractions); concurrent inserts may
+// extend the drain.
+func (q *Queue[V]) Drain() []Element[V] {
+	var out []Element[V]
 	for {
 		k, v, ok := q.TryExtractMax()
 		if !ok {
 			return out
 		}
-		out = append(out, element[V]{key: k, val: v})
+		out = append(out, Element[V]{Key: k, Val: v})
+	}
+}
+
+// CloseAndDrain closes the queue (releasing any blocked consumers) and
+// returns every remaining element instead of stranding them. Consumers
+// racing the drain simply take some of the elements themselves: each
+// element goes to exactly one taker. Like Close it is idempotent; a second
+// call returns whatever was inserted since the first drain.
+func (q *Queue[V]) CloseAndDrain() []Element[V] {
+	q.Close()
+	return q.Drain()
+}
+
+// ExtractMaxContext removes and returns a high-priority element, honoring
+// ctx. On a blocking queue it sleeps — deadline-aware — while the queue is
+// empty; on a non-blocking queue it returns ErrEmpty instead of waiting.
+// It returns ctx.Err() if ctx is done first and ErrClosed once the queue
+// is closed and empty; a closed queue's remaining elements are still
+// handed out, so shutdown never strands queued work.
+//
+// Unlike ExtractMax, waiting here does not consume a ring ticket, so a
+// context cancellation cannot skew the ticket pairing for other blocked
+// consumers.
+func (q *Queue[V]) ExtractMaxContext(ctx context.Context) (uint64, V, error) {
+	var zero V
+	c := q.getCtx()
+	defer q.putCtx(c)
+	for {
+		if err := ctx.Err(); err != nil {
+			return 0, zero, err
+		}
+		// Observe the signal counter before trying, so an insert landing
+		// between a failed try and the wait below cannot be missed.
+		var seen uint64
+		if q.ring != nil {
+			seen = q.ring.Pushes()
+		}
+		if k, v, ok := q.tryExtract(c); ok {
+			return k, v, nil
+		}
+		if q.closed.Load() {
+			// Re-try once: an element may have landed between the failed
+			// try and the closed check (Insert remains legal after Close).
+			if k, v, ok := q.tryExtract(c); ok {
+				return k, v, nil
+			}
+			return 0, zero, ErrClosed
+		}
+		if q.ring == nil {
+			return 0, zero, ErrEmpty
+		}
+		if err := q.ring.AwaitChange(ctx, seen); err != nil {
+			return 0, zero, err
+		}
 	}
 }
 

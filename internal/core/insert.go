@@ -1,6 +1,10 @@
 package core
 
-import "runtime"
+import (
+	"runtime"
+
+	"repro/internal/fault"
+)
 
 // This file implements Listing 1 of the paper: position selection, the
 // regular insert (new maximum of a node on the leaf-to-root path), the
@@ -27,6 +31,10 @@ func (q *Queue[V]) insert(ctx *opCtx[V], e element[V]) {
 			// mean some holder needs cycles to finish its critical section.
 			runtime.Gosched()
 		}
+		// Like the extract path's force escape, stop consulting the fault
+		// injector after enough consecutive failures: an always-fail
+		// injection schedule must not be able to starve inserts.
+		bypass := fails >= 64
 		level, slot, force := q.selectPosition(ctx, e.key)
 		if level < 0 {
 			// Depth cap reached; the root path always succeeds.
@@ -34,13 +42,13 @@ func (q *Queue[V]) insert(ctx *opCtx[V], e element[V]) {
 			return
 		}
 		if force {
-			if q.forcedInsert(ctx, level, slot, e) {
+			if q.forcedInsert(ctx, level, slot, e, bypass) {
 				return
 			}
 			continue
 		}
 		lvl, slt := q.binarySearchPosition(ctx, level, slot, e.key)
-		if q.regularInsert(ctx, lvl, slt, e) {
+		if q.regularInsert(ctx, lvl, slt, e, bypass) {
 			return
 		}
 	}
@@ -113,8 +121,15 @@ func (q *Queue[V]) binarySearchPosition(ctx *opCtx[V], level, slot int, key uint
 // lockNode acquires n's lock. With trylocks enabled (§4.1) a failed attempt
 // returns false and the caller restarts along a different random path,
 // since a locked node's cached fields are likely to fail validation anyway.
-func (q *Queue[V]) lockNode(n *tnode[V]) bool {
+// bypass skips fault injection (not the real trylock): callers set it after
+// repeated failures so an always-fail schedule cannot starve them.
+func (q *Queue[V]) lockNode(n *tnode[V], bypass bool) bool {
 	if q.useTry {
+		// Chaos hook: a forced failure is indistinguishable from losing the
+		// trylock race; the caller restarts along a different random path.
+		if !bypass && q.faults != nil && q.faults.Fire(fault.TryLock) {
+			return false
+		}
 		return n.lock.TryLock()
 	}
 	n.lock.Lock()
@@ -124,9 +139,9 @@ func (q *Queue[V]) lockNode(n *tnode[V]) bool {
 // forcedInsert adds e as a non-max member of the under-full leaf at
 // (level, slot), re-validating the optimistic reads under the lock
 // (Listing 1 lines 37-48).
-func (q *Queue[V]) forcedInsert(ctx *opCtx[V], level, slot int, e element[V]) bool {
+func (q *Queue[V]) forcedInsert(ctx *opCtx[V], level, slot int, e element[V], bypass bool) bool {
 	n := q.node(level, slot)
-	if !q.lockNode(n) {
+	if !q.lockNode(n, bypass) {
 		return false
 	}
 	cnt := n.count.Load()
@@ -176,10 +191,10 @@ func (q *Queue[V]) addLocked(ctx *opCtx[V], n *tnode[V], e element[V]) {
 // (Listing 1 lines 14-35). When profitable it applies the parent-min swap
 // (§3.2): e joins the parent's set and the parent's old minimum is demoted
 // into the node, shrinking the parent's key range at no extra locking cost.
-func (q *Queue[V]) regularInsert(ctx *opCtx[V], level, slot int, e element[V]) bool {
+func (q *Queue[V]) regularInsert(ctx *opCtx[V], level, slot int, e element[V], bypass bool) bool {
 	n := q.node(level, slot)
 	if level == 0 {
-		if !q.lockNode(n) {
+		if !q.lockNode(n, bypass) {
 			return false
 		}
 		if n.count.Load() > 0 && e.key < n.max.Load() {
@@ -192,10 +207,10 @@ func (q *Queue[V]) regularInsert(ctx *opCtx[V], level, slot int, e element[V]) b
 	}
 
 	p := q.node(level-1, slot/2)
-	if !q.lockNode(p) {
+	if !q.lockNode(p, bypass) {
 		return false
 	}
-	if !q.lockNode(n) {
+	if !q.lockNode(n, bypass) {
 		p.lock.Unlock()
 		return false
 	}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/hazard"
 	"repro/internal/locks"
 	"repro/internal/waitring"
@@ -35,8 +36,9 @@ type Queue[V any] struct {
 	pool     []poolSlot[V]
 	poolNext atomic.Int64
 
-	ring    *waitring.Ring // non-nil iff cfg.Blocking
-	dom     *hazard.Domain // non-nil iff memory-safe (i.e. !cfg.Leaky)
+	ring    *waitring.Ring  // non-nil iff cfg.Blocking
+	dom     *hazard.Domain  // non-nil iff memory-safe (i.e. !cfg.Leaky)
+	faults  *fault.Injector // non-nil only under chaos testing
 	free    freelist[V]
 	reclaim func(hazard.Ptr)
 
@@ -59,15 +61,21 @@ type poolSlot[V any] struct {
 	_    [44]byte
 }
 
-// New returns an empty queue configured by cfg. See Config and
+// New returns an empty queue configured by cfg. It panics with a
+// descriptive error if cfg is invalid; callers building configs from
+// external input should call Config.Validate first. See Config and
 // DefaultConfig.
 func New[V any](cfg Config) *Queue[V] {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	cfg = cfg.withDefaults()
 	q := &Queue[V]{
 		cfg:       cfg,
 		batch:     cfg.Batch,
 		targetLen: cfg.TargetLen,
 		useTry:    !cfg.NoTryLock,
+		faults:    cfg.Faults,
 	}
 	q.levels[0] = q.newLevel(1)
 	if cfg.Batch > 0 {
@@ -79,6 +87,10 @@ func New[V any](cfg Config) *Queue[V] {
 	if !cfg.Leaky {
 		q.dom = hazard.NewDomain()
 		q.reclaim = func(p hazard.Ptr) { q.free.push(p.(*lnode[V])) }
+		if q.faults != nil {
+			inj := q.faults
+			q.dom.SetScanHook(func() { inj.Stall(fault.HazardScan) })
+		}
 	}
 	if cfg.Helper {
 		q.helperStop = make(chan struct{})
@@ -133,6 +145,10 @@ func (q *Queue[V]) expandTree(from int) bool {
 	if cur+1 >= maxLevels {
 		return false
 	}
+	// Chaos hook: pause between deciding to grow and publishing the level,
+	// while concurrent inserts spin through selectPosition against the
+	// stale leafLevel and other growers block on growMu.
+	q.faults.Stall(fault.TreeGrow)
 	// Publish the level's nodes before advancing leafLevel: readers load
 	// leafLevel (acquire) before indexing levels, so they always observe
 	// initialized nodes.
@@ -195,13 +211,35 @@ func (q *Queue[V]) Closed() bool { return q.closed.Load() }
 // entries — in unspecified order, stopping early if f returns false. It
 // takes no locks and is intended for quiescent queues (diagnostics,
 // checkpointing); under concurrency it is a best-effort snapshot.
+//
+// Pool slots are snapshotted through the same full-flag handoff protocol
+// the consumer path uses: a slot's contents are stable from the refiller's
+// full.Store(1) (release) until the claiming consumer's full.Store(0), so
+// ForEach copies the contents between two acquire loads of the flag and
+// discards the copy if either load sees the slot released. Remaining
+// best-effort scope: if a full claim-and-refill cycle completes entirely
+// between the two loads (flag goes 1→0→1), the copy can blend the two
+// generations. That window is a handful of instructions wide and requires
+// a refill racing ForEach; it is accepted for a diagnostics-only snapshot
+// rather than adding per-slot sequence counters to the extraction hot
+// path.
 func (q *Queue[V]) ForEach(f func(key uint64, val V) bool) {
 	if p := q.poolNext.Load(); p > 0 {
 		for i := int64(0); i < p && i < int64(len(q.pool)); i++ {
-			if q.pool[i].full.Load() == 1 {
-				if !f(q.pool[i].key, q.pool[i].val) {
-					return
-				}
+			slot := &q.pool[i]
+			if slot.full.Load() != 1 {
+				continue
+			}
+			k, v := slot.key, slot.val
+			if slot.full.Load() != 1 || q.poolNext.Load() <= i {
+				// Claimed (or claimed-and-refilled) while we copied; the
+				// copy may be torn. Skip it — the element is either being
+				// returned to a consumer or was re-reported by a later
+				// refill.
+				continue
+			}
+			if !f(k, v) {
+				return
 			}
 		}
 	}

@@ -69,6 +69,11 @@ type Domain struct {
 	records atomic.Int64 // number of records ever created (for stats/tests)
 	// handles recycles Records across goroutines cheaply.
 	handles sync.Pool
+	// scanHook, when non-nil, runs at the start of every reclamation scan.
+	// Used by fault injection to stall scans; it must be set before the
+	// domain is used concurrently and must be safe to call from any
+	// goroutine that happens to run a scan.
+	scanHook func()
 }
 
 // NewDomain returns an empty domain.
@@ -81,6 +86,11 @@ func NewDomain() *Domain {
 // Records reports how many records have been allocated in the domain's
 // lifetime. Used by tests to verify record reuse.
 func (d *Domain) Records() int64 { return d.records.Load() }
+
+// SetScanHook installs f to run at the start of every reclamation scan.
+// Fault-injection harnesses use it to stall scans; it must be called
+// before the domain is used concurrently.
+func (d *Domain) SetScanHook(f func()) { d.scanHook = f }
 
 // acquireRecord finds an inactive record to reuse or appends a new one.
 func (d *Domain) acquireRecord() *record {
@@ -164,6 +174,9 @@ func (h *Handle) Retire(p Ptr, done func(Ptr)) {
 // scan applies the classic two-phase scan: snapshot all published hazard
 // pointers, then reclaim every retired object not in the snapshot.
 func (h *Handle) scan() {
+	if hook := h.d.scanHook; hook != nil {
+		hook()
+	}
 	protected := make(map[Ptr]struct{}, scanThreshold)
 	for r := h.d.head.Load(); r != nil; r = r.next {
 		for i := range r.hazards {

@@ -1,6 +1,7 @@
 package waitring
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -374,5 +375,149 @@ func TestManyWaitersSingleProducer(t *testing.T) {
 	}
 	if released.Load() != waiters {
 		t.Fatalf("released %d, want %d", released.Load(), waiters)
+	}
+}
+
+func TestFutexWaitTimeoutExpires(t *testing.T) {
+	var f Futex
+	start := time.Now()
+	changed := f.WaitTimeout(0, 30*time.Millisecond)
+	if changed {
+		t.Fatal("WaitTimeout reported a change on an untouched word")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("timeout honored only after %v", elapsed)
+	}
+}
+
+func TestFutexWaitTimeoutWokenEarly(t *testing.T) {
+	var f Futex
+	done := make(chan bool, 1)
+	go func() {
+		done <- f.WaitTimeout(0, 10*time.Second)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	f.Store(1)
+	f.Wake()
+	select {
+	case changed := <-done:
+		if !changed {
+			t.Fatal("WaitTimeout missed the store")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitTimeout slept through a wake")
+	}
+}
+
+func TestFutexWaitTimeoutNonPositive(t *testing.T) {
+	var f Futex
+	if f.WaitTimeout(0, 0) {
+		t.Fatal("zero-duration wait on an unchanged word reported a change")
+	}
+	f.Store(2)
+	if !f.WaitTimeout(0, -time.Second) {
+		t.Fatal("negative-duration wait missed an already-changed word")
+	}
+}
+
+func TestAwaitChangeReturnsOnSignal(t *testing.T) {
+	r := New(4)
+	seen := r.Pushes()
+	errc := make(chan error, 1)
+	go func() { errc <- r.AwaitChange(context.Background(), seen) }()
+	time.Sleep(10 * time.Millisecond)
+	r.Signal()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("AwaitChange = %v after Signal", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AwaitChange slept through a Signal")
+	}
+}
+
+func TestAwaitChangeFastPathWhenAlreadyChanged(t *testing.T) {
+	r := New(4)
+	seen := r.Pushes()
+	r.Signal()
+	if err := r.AwaitChange(context.Background(), seen); err != nil {
+		t.Fatalf("AwaitChange = %v with the change already published", err)
+	}
+}
+
+func TestAwaitChangeCancellation(t *testing.T) {
+	r := New(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- r.AwaitChange(ctx, r.Pushes()) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("AwaitChange = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not wake AwaitChange")
+	}
+}
+
+func TestAwaitChangeDeadline(t *testing.T) {
+	r := New(4)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := r.AwaitChange(ctx, r.Pushes()); err != context.DeadlineExceeded {
+		t.Fatalf("AwaitChange = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("deadline honored only after %v", elapsed)
+	}
+}
+
+func TestAwaitChangeClose(t *testing.T) {
+	r := New(4)
+	errc := make(chan error, 1)
+	go func() { errc <- r.AwaitChange(context.Background(), r.Pushes()) }()
+	time.Sleep(10 * time.Millisecond)
+	r.Close()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("AwaitChange = %v after Close, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not wake AwaitChange")
+	}
+}
+
+func TestAwaitChangeManyWaitersOneSignal(t *testing.T) {
+	r := New(4)
+	const waiters = 16
+	seen := r.Pushes()
+	var wg sync.WaitGroup
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- r.AwaitChange(context.Background(), seen)
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	r.Signal() // one push changes the counter for every waiter
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("a single Signal left AwaitChange waiters asleep")
+	}
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("waiter returned %v", err)
+		}
 	}
 }

@@ -43,6 +43,18 @@ type Config = core.Config
 // TreeStats is a diagnostic snapshot of the queue's internal tree shape.
 type TreeStats = core.TreeStats
 
+// Element is one key/value pair returned by Queue.Drain and
+// Queue.CloseAndDrain.
+type Element[V any] = core.Element[V]
+
+// ErrClosed is returned by ExtractMaxContext once the queue is closed and
+// fully drained; ErrEmpty is returned by ExtractMaxContext on a
+// non-blocking queue observed empty.
+var (
+	ErrClosed = core.ErrClosed
+	ErrEmpty  = core.ErrEmpty
+)
+
 // LockKind selects the per-node lock implementation (§4.1 of the paper).
 type LockKind = locks.Kind
 
