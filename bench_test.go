@@ -279,6 +279,25 @@ func BenchmarkFig5bInsert66(b *testing.B)      { benchFig5(b, 66, harness.Unifor
 func BenchmarkFig5cMixed20bit(b *testing.B)    { benchFig5(b, 50, harness.Uniform20) }
 func BenchmarkFig5cMixed7bitKeys(b *testing.B) { benchFig5(b, 50, harness.Uniform7) }
 
+// ---- Batch API (beyond the paper) ----
+
+// BenchmarkBatchThroughput measures the InsertBatch/ExtractBatch API on the
+// Figure 5c workload (50/50 mix, prefilled, default config). batch=1 routes
+// through the per-operation loop and is the baseline; larger batch sizes
+// amortize per-call overhead without changing the relaxation contract.
+func BenchmarkBatchThroughput(b *testing.B) {
+	for _, batch := range []int{1, 16, 128} {
+		for _, t := range benchThreads {
+			batch, t := batch, t
+			b.Run(fmt.Sprintf("batch=%d/threads=%d", batch, t), func(b *testing.B) {
+				reportThroughput(b, func(int) pq.Queue { return harness.NewZMSQ(core.DefaultConfig()) },
+					harness.ThroughputSpec{Threads: t, TotalOps: benchOps, InsertPct: 50,
+						Keys: harness.Uniform20, Prefill: benchOps, Batch: batch})
+			})
+		}
+	}
+}
+
 // ---- Figure 6: producer/consumer ratios ----
 
 func BenchmarkFig6ProducerConsumer(b *testing.B) {

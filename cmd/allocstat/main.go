@@ -1,0 +1,143 @@
+// Command allocstat measures steady-state heap allocations per operation
+// for the ZMSQ hot paths and writes them as JSON, giving CI a perf
+// trajectory file (results/BENCH_alloc.json) that future PRs can diff.
+//
+// Methodology: for each (mode, op) cell the queue is prefilled and warmed
+// until every pooled context and scratch buffer has reached steady-state
+// capacity, then the op runs in a paired insert/extract loop (so the queue
+// size — and with it the node-recycling balance — stays constant) with the
+// GC disabled while runtime.MemStats.Mallocs is sampled around the loop.
+// The paired loop is the point: insert-only necessarily allocates (net new
+// elements need memory); the zero-allocation claim is about steady state.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// Cell is one measured (mode, op) combination.
+type Cell struct {
+	Mode        string  `json:"mode"`
+	Op          string  `json:"op"`
+	Runs        int     `json:"runs"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Report is the JSON document written to -out.
+type Report struct {
+	Tool  string `json:"tool"`
+	Go    string `json:"go"`
+	Cells []Cell `json:"cells"`
+}
+
+func main() {
+	var (
+		out  = flag.String("out", "", "write JSON here (default stdout)")
+		runs = flag.Int("runs", 20000, "measured operations per cell")
+	)
+	flag.Parse()
+
+	modes := []struct {
+		name string
+		cfg  func() core.Config
+	}{
+		{"leaky-list", func() core.Config { c := core.DefaultConfig(); c.Leaky = true; return c }},
+		{"array", func() core.Config { c := core.DefaultConfig(); c.ArraySet = true; return c }},
+		{"array-leaky", func() core.Config {
+			c := core.DefaultConfig()
+			c.ArraySet, c.Leaky = true, true
+			return c
+		}},
+		{"memory-safe-list", core.DefaultConfig},
+	}
+
+	rep := Report{Tool: "allocstat", Go: runtime.Version()}
+	for _, m := range modes {
+		for _, op := range []string{"insert+extract", "batch64"} {
+			rep.Cells = append(rep.Cells, measure(m.name, op, m.cfg(), *runs))
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allocstat:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "allocstat:", err)
+		os.Exit(1)
+	}
+}
+
+func measure(mode, op string, cfg core.Config, runs int) Cell {
+	q := core.New[struct{}](cfg)
+	defer q.Close()
+	r := xrand.New(1)
+	draw := func() uint64 { return r.Uint64() >> 44 }
+
+	for i := 0; i < 1<<13; i++ {
+		q.Insert(draw(), struct{}{})
+	}
+
+	const batch = 64
+	keys := make([]uint64, batch)
+	dst := make([]core.Element[struct{}], 0, batch)
+	var step func()
+	var perRun int
+	switch op {
+	case "insert+extract":
+		perRun = 1
+		step = func() {
+			q.Insert(draw(), struct{}{})
+			q.TryExtractMax()
+		}
+	case "batch64":
+		perRun = batch
+		step = func() {
+			for i := range keys {
+				keys[i] = draw()
+			}
+			q.InsertBatch(keys, nil)
+			dst = q.ExtractBatch(dst[:0], batch)
+		}
+	default:
+		panic("unknown op " + op)
+	}
+
+	// Warm pooled contexts, scratch capacities, and the node caches.
+	for i := 0; i < 4096/perRun+1; i++ {
+		step()
+	}
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	iters := runs / perRun
+	if iters < 1 {
+		iters = 1
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		step()
+	}
+	runtime.ReadMemStats(&after)
+	return Cell{
+		Mode:        mode,
+		Op:          op,
+		Runs:        iters * perRun,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters*perRun),
+	}
+}

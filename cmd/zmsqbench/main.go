@@ -4,6 +4,12 @@
 //	Figure 3 (a,b): batch & targetLen configurations vs the mound
 //	Figure 5 (a,b,c): ZMSQ variants vs SprayList vs mound
 //
+// plus a repo-local experiment beyond the paper:
+//
+//	batch: the InsertBatch/ExtractBatch API at several batch-call sizes
+//	       against the per-operation loop (batchsize=1), 50/50 mix on a
+//	       prefilled queue (see EXPERIMENTS.md "Batch API mode")
+//
 // Each experiment prints one row per (queue, thread-count) cell:
 //
 //	zmsqbench -experiment fig5c -threads 1,2,4,8 -ops 2000000
@@ -30,7 +36,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "fig5c", "fig2a|fig2b|fig3a|fig3b|fig5a|fig5b|fig5c")
+		experiment = flag.String("experiment", "fig5c", "fig2a|fig2b|fig3a|fig3b|fig5a|fig5b|fig5c|batch")
 		threadsCSV = flag.String("threads", defaultThreads(), "comma-separated thread counts")
 		ops        = flag.Int("ops", 1_000_000, "total operations per cell")
 		keybits    = flag.Int("keybits", 20, "key width in bits: 20 or 7 (§4.5.1)")
@@ -55,6 +61,8 @@ func main() {
 		runFig3(*experiment, threads, *ops, *seed)
 	case "fig5a", "fig5b", "fig5c":
 		runFig5(*experiment, threads, *ops, keys, *seed)
+	case "batch":
+		runBatch(threads, *ops, keys, *seed)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -152,6 +160,28 @@ func runFig3(which string, threads []int, ops int, seed uint64) {
 				Keys: harness.Normal20, Prefill: prefill, Seed: seed,
 			})
 			fmt.Printf("%-16s threads=%-3d Mops/s=%.3f\n", cell.name, t, res.OpsPerSec()/1e6)
+		}
+	}
+}
+
+// runBatch measures the batch-native API: the same 50/50 mixed workload on
+// a prefilled default-config queue, issued through InsertBatch/ExtractBatch
+// in groups of batchsize elements. batchsize=1 is the per-operation
+// baseline. The delta between rows is pure per-call overhead amortization —
+// context pooling, pool-slot handoff, root-lock traffic — since the
+// relaxation contract is identical at every batch size.
+func runBatch(threads []int, ops int, keys harness.KeyDist, seed uint64) {
+	fmt.Printf("# Batch API: 50%% inserts on prefilled queue, %d ops, default config\n", ops)
+	for _, t := range threads {
+		for _, bs := range []int{1, 8, 48, 256} {
+			res := harness.RunThroughput(
+				func(int) pq.Queue { return harness.NewZMSQ(core.DefaultConfig()) },
+				harness.ThroughputSpec{
+					Threads: t, TotalOps: ops, InsertPct: 50,
+					Keys: keys, Prefill: ops, Batch: bs, Seed: seed,
+				})
+			fmt.Printf("batchsize=%-4d threads=%-3d Mops/s=%.3f failedExtract=%d\n",
+				bs, t, res.OpsPerSec()/1e6, res.FailedExt)
 		}
 	}
 }

@@ -274,7 +274,12 @@ func (q *Queue[V]) maybeSplit(ctx *opCtx[V], level, slot int, n *tnode[V]) {
 			return
 		}
 	}
-	lower := n.set.splitLower(&ctx.al)
+	// The displaced lower half lands in the context's split scratch. The
+	// buffer is fully consumed by the distribution loop below before either
+	// recursive maybeSplit call reuses it, so one per-context buffer serves
+	// the whole recursion without allocating.
+	ctx.split = n.set.splitLower(&ctx.al, ctx.split[:0])
+	lower := ctx.split
 	n.count.Store(int64(n.set.length()))
 	n.min.Store(n.set.minKey())
 	// max unchanged: splitLower removes only the smaller half.
@@ -288,12 +293,13 @@ func (q *Queue[V]) maybeSplit(ctx *opCtx[V], level, slot int, n *tnode[V]) {
 	// Distribute the displaced elements across the children, balancing
 	// their sizes. Every displaced key is <= n's new minimum <= n.max, so
 	// the parent/child invariant holds regardless of placement.
-	for _, el := range lower {
+	for i, el := range lower {
 		c := l
 		if r.count.Load() < l.count.Load() {
 			c = r
 		}
 		q.addLocked(ctx, c, el)
+		lower[i] = element[V]{} // drop the scratch copy's payload reference
 	}
 	q.maybeSplit(ctx, level+1, 2*slot, l)   // unlocks l
 	q.maybeSplit(ctx, level+1, 2*slot+1, r) // unlocks r

@@ -1,7 +1,5 @@
 package core
 
-import "sort"
-
 // element is one queue entry: a priority key (larger = higher priority) and
 // an arbitrary payload.
 type element[V any] struct {
@@ -17,6 +15,11 @@ type element[V any] struct {
 //
 // Callers maintain the TNode's cached max/min/count; set methods report
 // enough (maxKey/minKey/length) to recompute them after a mutation.
+//
+// Methods that move elements out of the set (takeTop, splitLower,
+// ascending) append to a caller-supplied buffer instead of allocating:
+// the hot paths thread per-operation scratch slices (opCtx) through them,
+// so steady-state operations touch no new heap memory.
 type nodeSet[V any] interface {
 	// insertMax adds e, whose key must be >= maxKey() (or the set empty).
 	insertMax(a *alloc[V], e element[V])
@@ -31,16 +34,18 @@ type nodeSet[V any] interface {
 	// takeTop removes the n largest elements (n <= length()) and appends
 	// them to dst in ascending key order.
 	takeTop(a *alloc[V], n int, dst []element[V]) []element[V]
-	// splitLower removes the floor(length/2) smallest elements and returns
-	// them (in any order).
-	splitLower(a *alloc[V]) []element[V]
+	// splitLower removes the floor(length/2) smallest elements and appends
+	// them to dst (in any order).
+	splitLower(a *alloc[V], dst []element[V]) []element[V]
 	// swapMin removes the minimum and inserts e in a single pass,
 	// returning the removed minimum and the new minimum key. Requirements:
 	// length >= 2, minKey() < e.key <= maxKey(). This is the §3.2
 	// parent-min quality swap, which runs on most regular inserts and so
 	// must not traverse the set three times.
 	swapMin(a *alloc[V], e element[V]) (demoted element[V], newMin uint64)
-	// maxKey/minKey report the extreme keys; undefined when empty.
+	// maxKey/minKey report the extreme keys; undefined when empty. Both are
+	// O(1) for both implementations' hot use (minKey is read on every
+	// parent-min swap).
 	maxKey() uint64
 	minKey() uint64
 	length() int
@@ -51,35 +56,34 @@ type nodeSet[V any] interface {
 
 // lnode is a node of the sorted list representation. In memory-safe mode
 // lnodes are recycled through a hazard-pointer-gated freelist; in leaky
-// mode they are garbage.
+// mode they are recycled through the sharded node cache (the GC backs any
+// stale diagnostic reader).
 type lnode[V any] struct {
 	e    element[V]
 	next *lnode[V]
 }
 
 // listSet is a singly-linked list sorted descending by key: the head is the
-// maximum, as in the original mound.
+// maximum, as in the original mound. tail caches the last node so minKey —
+// read on every §3.2 parent-min swap — is O(1) instead of a full traversal.
 type listSet[V any] struct {
 	head *lnode[V]
+	tail *lnode[V]
 	size int
 }
 
 func (s *listSet[V]) length() int    { return s.size }
 func (s *listSet[V]) maxKey() uint64 { return s.head.e.key }
-
-func (s *listSet[V]) minKey() uint64 {
-	n := s.head
-	for n.next != nil {
-		n = n.next
-	}
-	return n.e.key
-}
+func (s *listSet[V]) minKey() uint64 { return s.tail.e.key }
 
 func (s *listSet[V]) insertMax(a *alloc[V], e element[V]) {
 	n := a.get()
 	n.e = e
 	n.next = s.head
 	s.head = n
+	if s.tail == nil {
+		s.tail = n
+	}
 	s.size++
 }
 
@@ -97,12 +101,18 @@ func (s *listSet[V]) insertNonMax(a *alloc[V], e element[V]) {
 	n.e = e
 	n.next = prev.next
 	prev.next = n
+	if n.next == nil {
+		s.tail = n
+	}
 	s.size++
 }
 
 func (s *listSet[V]) removeMax(a *alloc[V]) element[V] {
 	n := s.head
 	s.head = n.next
+	if s.head == nil {
+		s.tail = nil
+	}
 	s.size--
 	e := n.e
 	a.put(n)
@@ -119,6 +129,7 @@ func (s *listSet[V]) removeMin(a *alloc[V]) element[V] {
 	}
 	n := prev.next
 	prev.next = nil
+	s.tail = prev
 	s.size--
 	e := n.e
 	a.put(n)
@@ -138,28 +149,28 @@ func (s *listSet[V]) takeTop(a *alloc[V], n int, dst []element[V]) []element[V] 
 	return dst
 }
 
-func (s *listSet[V]) splitLower(a *alloc[V]) []element[V] {
+func (s *listSet[V]) splitLower(a *alloc[V], dst []element[V]) []element[V] {
 	take := s.size / 2
 	if take == 0 {
-		return nil
+		return dst
 	}
-	// Walk to the last kept node, detach the tail.
+	// Walk to the last kept node, detach the tail run.
 	keep := s.size - take
 	prev := s.head
 	for i := 1; i < keep; i++ {
 		prev = prev.next
 	}
-	tail := prev.next
+	run := prev.next
 	prev.next = nil
+	s.tail = prev
 	s.size = keep
-	out := make([]element[V], 0, take)
-	for tail != nil {
-		next := tail.next
-		out = append(out, tail.e)
-		a.put(tail)
-		tail = next
+	for run != nil {
+		next := run.next
+		dst = append(dst, run.e)
+		a.put(run)
+		run = next
 	}
-	return out
+	return dst
 }
 
 func (s *listSet[V]) swapMin(a *alloc[V], e element[V]) (element[V], uint64) {
@@ -180,10 +191,11 @@ func (s *listSet[V]) swapMin(a *alloc[V], e element[V]) (element[V], uint64) {
 	for p2.next.next != nil {
 		p2 = p2.next
 	}
-	tail := p2.next
+	old := p2.next
 	p2.next = nil
-	demoted := tail.e
-	a.put(tail)
+	s.tail = p2
+	demoted := old.e
+	a.put(old)
 	return demoted, p2.e.key
 }
 
@@ -197,6 +209,52 @@ func (s *listSet[V]) ascending(dst []element[V]) []element[V] {
 		dst[i], dst[j] = dst[j], dst[i]
 	}
 	return dst
+}
+
+// sortElemsAsc sorts elems ascending by key: median-of-three quicksort with
+// an insertion-sort cutoff, recursing into one partition and looping on the
+// other. sort.Slice is deliberately avoided — it boxes the slice and
+// closure, costing heap allocations on every pool refill in array mode.
+func sortElemsAsc[V any](e []element[V]) {
+	for len(e) > 16 {
+		m, hi := len(e)/2, len(e)-1
+		if e[0].key > e[m].key {
+			e[0], e[m] = e[m], e[0]
+		}
+		if e[0].key > e[hi].key {
+			e[0], e[hi] = e[hi], e[0]
+		}
+		if e[m].key > e[hi].key {
+			e[m], e[hi] = e[hi], e[m]
+		}
+		pivot := e[m].key
+		i, j := 0, hi
+		for i <= j {
+			for e[i].key < pivot {
+				i++
+			}
+			for e[j].key > pivot {
+				j--
+			}
+			if i <= j {
+				e[i], e[j] = e[j], e[i]
+				i++
+				j--
+			}
+		}
+		if j < len(e)-i {
+			sortElemsAsc(e[:j+1])
+			e = e[i:]
+		} else {
+			sortElemsAsc(e[i:])
+			e = e[:j+1]
+		}
+	}
+	for i := 1; i < len(e); i++ {
+		for j := i; j > 0 && e[j].key < e[j-1].key; j-- {
+			e[j], e[j-1] = e[j-1], e[j]
+		}
+	}
 }
 
 // arraySet is an unsorted slice with small fixed capacity (2×targetLen plus
@@ -265,9 +323,7 @@ func (s *arraySet[V]) removeMin(a *alloc[V]) element[V] {
 	return s.removeAt(best)
 }
 
-func (s *arraySet[V]) sortAscending() {
-	sort.Slice(s.elems, func(i, j int) bool { return s.elems[i].key < s.elems[j].key })
-}
+func (s *arraySet[V]) sortAscending() { sortElemsAsc(s.elems) }
 
 func (s *arraySet[V]) takeTop(a *alloc[V], n int, dst []element[V]) []element[V] {
 	s.sortAscending()
@@ -280,20 +336,19 @@ func (s *arraySet[V]) takeTop(a *alloc[V], n int, dst []element[V]) []element[V]
 	return dst
 }
 
-func (s *arraySet[V]) splitLower(a *alloc[V]) []element[V] {
+func (s *arraySet[V]) splitLower(a *alloc[V], dst []element[V]) []element[V] {
 	take := len(s.elems) / 2
 	if take == 0 {
-		return nil
+		return dst
 	}
 	s.sortAscending()
-	out := make([]element[V], take)
-	copy(out, s.elems[:take])
+	dst = append(dst, s.elems[:take]...)
 	keep := copy(s.elems, s.elems[take:])
 	for i := keep; i < len(s.elems); i++ {
 		s.elems[i] = element[V]{}
 	}
 	s.elems = s.elems[:keep]
-	return out
+	return dst
 }
 
 func (s *arraySet[V]) swapMin(a *alloc[V], e element[V]) (element[V], uint64) {
@@ -323,7 +378,6 @@ func (s *arraySet[V]) swapMin(a *alloc[V], e element[V]) (element[V], uint64) {
 func (s *arraySet[V]) ascending(dst []element[V]) []element[V] {
 	base := len(dst)
 	dst = append(dst, s.elems...)
-	tail := dst[base:]
-	sort.Slice(tail, func(i, j int) bool { return tail[i].key < tail[j].key })
+	sortElemsAsc(dst[base:])
 	return dst
 }

@@ -140,7 +140,7 @@ func TestSetSplitLower(t *testing.T) {
 		a := newAlloc()
 		s := mk()
 		fillSet(s, a, []uint64{10, 30, 20, 50, 40, 60, 70})
-		lower := s.splitLower(a)
+		lower := s.splitLower(a, nil)
 		if len(lower) != 3 {
 			t.Fatalf("splitLower returned %d, want 3", len(lower))
 		}
@@ -160,8 +160,8 @@ func TestSetSplitLowerSmall(t *testing.T) {
 		a := newAlloc()
 		s := mk()
 		s.insertMax(a, element[int]{key: 1})
-		if got := s.splitLower(a); got != nil {
-			t.Fatalf("splitLower of singleton = %v, want nil", got)
+		if got := s.splitLower(a, nil); len(got) != 0 {
+			t.Fatalf("splitLower of singleton = %v, want empty", got)
 		}
 	})
 }

@@ -49,14 +49,21 @@ func swapContents[V any](a, b *tnode[V]) {
 	b.count.Store(ac)
 }
 
-// alloc is the set-node allocator threaded through set operations. In
-// memory-safe mode it pops recycled lnodes from the queue's freelist and
-// retires freed ones through the hazard-pointer domain; in leaky mode it
-// allocates fresh nodes and lets the garbage collector take the old ones
-// (the paper's "ZMSQ (leak)" configuration).
+// alloc is the set-node allocator threaded through set operations — the
+// single seam both recycling strategies sit behind. In memory-safe mode
+// (h != nil) it pops recycled lnodes from the queue's freelist and retires
+// freed ones through the hazard-pointer domain, so reuse never depends on
+// the garbage collector. In leaky mode (the paper's "ZMSQ (leak)"
+// configuration) it recycles through the sharded node cache instead: every
+// lnode is only ever read or written under its owning TNode's lock (the
+// optimistic paths read TNode atomics, never list nodes), so immediate
+// reuse is safe, and any stale pointer held by a quiescent-only diagnostic
+// keeps its object alive through the GC as before.
 type alloc[V any] struct {
-	q *Queue[V]
-	h *hazard.Handle // nil in leaky mode
+	q     *Queue[V]
+	h     *hazard.Handle // nil in leaky mode
+	cache *nodeCache[V]  // nil unless leaky list mode
+	shard uint32         // node-cache shard hash for this context
 }
 
 func (a *alloc[V]) get() *lnode[V] {
@@ -64,6 +71,10 @@ func (a *alloc[V]) get() *lnode[V] {
 		if n := a.q.free.pop(); n != nil {
 			return n
 		}
+		return new(lnode[V])
+	}
+	if a.cache != nil {
+		return a.cache.get(a.shard)
 	}
 	return new(lnode[V])
 }
@@ -73,7 +84,73 @@ func (a *alloc[V]) put(n *lnode[V]) {
 	n.next = nil
 	if a.h != nil {
 		a.h.Retire(n, a.q.reclaim)
+		return
 	}
+	if a.cache != nil {
+		a.cache.put(a.shard, n)
+	}
+}
+
+// nodeCacheShards spreads leaky-mode recycling over several stacks so
+// concurrent operations on different contexts rarely contend; each opCtx
+// hashes to one shard for its lifetime, so a single goroutine's get/put
+// traffic stays on one uncontended, cache-hot stack.
+const (
+	nodeCacheShards   = 8
+	nodeCacheShardCap = 128
+)
+
+// nodeCache is the leaky-mode lnode recycler: fixed-capacity per-shard
+// stacks (cache-line padded) with a sync.Pool behind them, so shard
+// imbalance overflows into the runtime's per-P caches instead of the heap.
+// Steady-state insert/extract pairs on one context recycle through their
+// shard without allocating.
+type nodeCache[V any] struct {
+	shards   [nodeCacheShards]nodeCacheShard[V]
+	overflow sync.Pool
+}
+
+type nodeCacheShard[V any] struct {
+	mu    sync.Mutex
+	nodes []*lnode[V]
+	_     [40]byte
+}
+
+func newNodeCache[V any]() *nodeCache[V] {
+	c := &nodeCache[V]{}
+	for i := range c.shards {
+		c.shards[i].nodes = make([]*lnode[V], 0, nodeCacheShardCap)
+	}
+	return c
+}
+
+func (c *nodeCache[V]) get(shard uint32) *lnode[V] {
+	s := &c.shards[shard%nodeCacheShards]
+	s.mu.Lock()
+	if k := len(s.nodes); k > 0 {
+		n := s.nodes[k-1]
+		s.nodes[k-1] = nil
+		s.nodes = s.nodes[:k-1]
+		s.mu.Unlock()
+		return n
+	}
+	s.mu.Unlock()
+	if v := c.overflow.Get(); v != nil {
+		return v.(*lnode[V])
+	}
+	return new(lnode[V])
+}
+
+func (c *nodeCache[V]) put(shard uint32, n *lnode[V]) {
+	s := &c.shards[shard%nodeCacheShards]
+	s.mu.Lock()
+	if len(s.nodes) < cap(s.nodes) {
+		s.nodes = append(s.nodes, n)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	c.overflow.Put(n)
 }
 
 // freelistShards spreads freelist traffic over several locks; a single
@@ -119,14 +196,18 @@ func (f *freelist[V]) pop() *lnode[V] {
 }
 
 // opCtx carries per-operation state: a private RNG, the participant's
-// hazard-pointer handle, the set-node allocator, and a scratch buffer for
-// pool refills. Contexts are pooled; one is held for the duration of a
-// single Insert or ExtractMax.
+// hazard-pointer handle, the set-node allocator, and reusable scratch
+// buffers — scratch for pool refills and batch root grabs, split for the
+// lower half moved by a set split. Contexts are pooled; one is held for
+// the duration of a single operation (or a whole batch call), so the
+// scratch slices reach a steady-state capacity and the hot paths stop
+// allocating.
 type opCtx[V any] struct {
 	rng     xrand.Rand
 	h       *hazard.Handle
 	al      alloc[V]
 	scratch []element[V]
+	split   []element[V]
 }
 
 // clearHazards empties the traversal hazard slots at the end of an

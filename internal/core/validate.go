@@ -55,6 +55,14 @@ func (q *Queue[V]) checkNode(level, slot int, n *tnode[V]) error {
 	if got := elems[0].key; got != n.min.Load() {
 		return fmt.Errorf("node (%d,%d): cached min %d != set min %d", level, slot, n.min.Load(), got)
 	}
+	// Cross-check the set's O(1) extreme queries against the full walk;
+	// for the list set this validates the cached tail pointer.
+	if got := n.set.minKey(); got != elems[0].key {
+		return fmt.Errorf("node (%d,%d): set minKey %d != walked min %d", level, slot, got, elems[0].key)
+	}
+	if got := n.set.maxKey(); got != elems[len(elems)-1].key {
+		return fmt.Errorf("node (%d,%d): set maxKey %d != walked max %d", level, slot, got, elems[len(elems)-1].key)
+	}
 	if level > 0 {
 		p := q.node(level-1, slot/2)
 		if p.count.Load() == 0 {

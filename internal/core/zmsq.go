@@ -37,9 +37,10 @@ type Queue[V any] struct {
 	poolNext atomic.Int64
 
 	ring    *waitring.Ring  // non-nil iff cfg.Blocking
-	dom     *hazard.Domain  // non-nil iff memory-safe (i.e. !cfg.Leaky)
+	dom     *hazard.Domain  // non-nil iff memory-safe list mode (see New)
 	faults  *fault.Injector // non-nil only under chaos testing
 	free    freelist[V]
+	cache   *nodeCache[V] // non-nil iff leaky list mode
 	reclaim func(hazard.Ptr)
 
 	ctxs    sync.Pool
@@ -84,13 +85,21 @@ func New[V any](cfg Config) *Queue[V] {
 	if cfg.Blocking {
 		q.ring = waitring.New(cfg.RingSize)
 	}
-	if !cfg.Leaky {
+	switch {
+	case cfg.ArraySet:
+		// Array sets have no lnodes, so there is nothing to reclaim: the
+		// paper's hazard pointers (§3.5) exist to gate list-node reuse.
+		// Skipping the domain keeps array-mode descents allocation-free
+		// (atomic.Value hazard publication boxes its operand).
+	case !cfg.Leaky:
 		q.dom = hazard.NewDomain()
 		q.reclaim = func(p hazard.Ptr) { q.free.push(p.(*lnode[V])) }
 		if q.faults != nil {
 			inj := q.faults
 			q.dom.SetScanHook(func() { inj.Stall(fault.HazardScan) })
 		}
+	default:
+		q.cache = newNodeCache[V]()
 	}
 	if cfg.Helper {
 		q.helperStop = make(chan struct{})
@@ -102,10 +111,13 @@ func New[V any](cfg Config) *Queue[V] {
 		if q.dom != nil {
 			c.h = q.dom.Get()
 		}
-		c.al = alloc[V]{q: q, h: c.h}
-		if cfg.Batch > 0 {
-			c.scratch = make([]element[V], 0, cfg.Batch)
-		}
+		c.al = alloc[V]{q: q, h: c.h, cache: q.cache, shard: uint32(id)}
+		// Pool refills move up to Batch elements; a batch root grab moves up
+		// to Batch+1. A split moves at most TargetLen+1 (half of an
+		// overflowing set). Pre-sizing both means the scratch slices never
+		// grow on the hot paths.
+		c.scratch = make([]element[V], 0, cfg.Batch+1)
+		c.split = make([]element[V], 0, cfg.TargetLen+2)
 		return c
 	}
 	if cfg.Helper {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/pq"
 	"repro/internal/quality"
 	"repro/internal/xrand"
 )
@@ -77,7 +78,7 @@ func RunAccuracy(mk QueueMaker, threads int, spec AccuracySpec) AccuracyResult {
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
 	threshold := sorted[spec.Extracts-1]
 
-	res := AccuracyResult{Spec: spec, Queue: nameOf(q)}
+	res := AccuracyResult{Spec: spec, Queue: pq.NameOf(q, "queue")}
 	done := 0
 	for done < spec.Extracts {
 		k, ok := q.ExtractMax()
@@ -96,13 +97,6 @@ func RunAccuracy(mk QueueMaker, threads int, spec AccuracySpec) AccuracyResult {
 		done++
 	}
 	return res
-}
-
-func nameOf(q interface{ ExtractMax() (uint64, bool) }) string {
-	if n, ok := q.(interface{ Name() string }); ok {
-		return n.Name()
-	}
-	return "queue"
 }
 
 // RunRankAccuracy measures the full rank-error distribution of an
@@ -136,5 +130,5 @@ func RunRankAccuracy(mk QueueMaker, threads int, spec AccuracySpec) (quality.Ran
 		tr.ObserveExtract(k)
 		done++
 	}
-	return tr.Summary(), nameOf(q)
+	return tr.Summary(), pq.NameOf(q, "queue")
 }

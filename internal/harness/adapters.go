@@ -6,6 +6,8 @@
 package harness
 
 import (
+	"sync"
+
 	"repro/internal/core"
 	"repro/internal/klsm"
 	"repro/internal/mound"
@@ -49,6 +51,41 @@ func (z *ZMSQ) ExtractMax() (uint64, bool) {
 
 // Name implements pq.Named.
 func (z *ZMSQ) Name() string { return z.n }
+
+// Close implements pq.Closer.
+func (z *ZMSQ) Close() { z.Q.Close() }
+
+// InsertBatch implements pq.Batcher.
+func (z *ZMSQ) InsertBatch(keys []uint64) { z.Q.InsertBatch(keys, nil) }
+
+// elemBufs recycles the Element buffers ExtractBatch translates through;
+// the adapter is shared across workers, so the buffer cannot live on the
+// adapter itself.
+var elemBufs = sync.Pool{
+	New: func() any { return new([]core.Element[struct{}]) },
+}
+
+// ExtractBatch implements pq.Batcher.
+func (z *ZMSQ) ExtractBatch(dst []uint64, n int) []uint64 {
+	buf := elemBufs.Get().(*[]core.Element[struct{}])
+	*buf = z.Q.ExtractBatch((*buf)[:0], n)
+	for _, e := range *buf {
+		dst = append(dst, e.Key)
+	}
+	elemBufs.Put(buf)
+	return dst
+}
+
+// Compile-time capability registrations: every substrate reaches the
+// runners through pq.Queue plus these optional interfaces.
+var (
+	_ pq.Queue   = (*ZMSQ)(nil)
+	_ pq.Named   = (*ZMSQ)(nil)
+	_ pq.Closer  = (*ZMSQ)(nil)
+	_ pq.Batcher = (*ZMSQ)(nil)
+	_ pq.Queue   = (*KLSMAdapter)(nil)
+	_ pq.Closer  = (*KLSMAdapter)(nil)
+)
 
 // KLSMAdapter exposes a k-LSM through pq.Queue using one handle per
 // adapter; the caller must use one adapter per goroutine (matching the

@@ -8,6 +8,7 @@ import (
 	"repro/internal/contract"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/pq"
 	"repro/internal/xrand"
 )
 
@@ -299,7 +300,7 @@ func RunChaosBaseline(name string, maker QueueMaker, plan ChaosPlan) (ChaosResul
 		rec.DidExtract(k, true)
 		extracted.Add(1)
 	}
-	if cl, ok := q.(interface{ Close() }); ok {
+	if cl, ok := q.(pq.Closer); ok {
 		cl.Close()
 	}
 

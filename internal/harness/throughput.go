@@ -24,6 +24,12 @@ type ThroughputSpec struct {
 	// Prefill inserts this many keys before timing starts (the 50/50
 	// workloads start from 1M-element queues in the paper).
 	Prefill int
+	// Batch, when > 1, drives the workload through the queue's native
+	// batch operations (pq.Batcher) in groups of up to Batch elements per
+	// call; each element still counts as one operation. Queues without
+	// batch support fall back to the per-operation loop, so curves remain
+	// comparable across substrates.
+	Batch int
 	// Seed makes runs reproducible.
 	Seed uint64
 }
@@ -67,19 +73,25 @@ func RunThroughput(mk QueueMaker, spec ThroughputSpec) ThroughputResult {
 	var start, stop sync.WaitGroup
 	start.Add(1)
 	stop.Add(spec.Threads)
+	bq, batched := q.(pq.Batcher)
+	batched = batched && spec.Batch > 1
 	for w := 0; w < spec.Threads; w++ {
 		go func(w int) {
 			defer stop.Done()
 			r := xrand.New(spec.Seed + uint64(w)*0x9e3779b97f4a7c15)
 			start.Wait()
 			var localOps, localFailed int64
-			for i := 0; i < perWorker; i++ {
-				if spec.InsertPct.IsInsert(r) {
-					q.Insert(spec.Keys.Draw(r))
-				} else if _, ok := q.ExtractMax(); !ok {
-					localFailed++
+			if batched {
+				localOps, localFailed = runBatchedWorker(bq, spec, r, perWorker)
+			} else {
+				for i := 0; i < perWorker; i++ {
+					if spec.InsertPct.IsInsert(r) {
+						q.Insert(spec.Keys.Draw(r))
+					} else if _, ok := q.ExtractMax(); !ok {
+						localFailed++
+					}
+					localOps++
 				}
-				localOps++
 			}
 			ops.Add(localOps)
 			failed.Add(localFailed)
@@ -97,4 +109,33 @@ func RunThroughput(mk QueueMaker, spec ThroughputSpec) ThroughputResult {
 		Ops:       ops.Load(),
 		FailedExt: failed.Load(),
 	}
+}
+
+// runBatchedWorker is the batch-mode inner loop: the mix decision is drawn
+// once per group, then the whole group goes through one InsertBatch or
+// ExtractBatch call. A short ExtractBatch return counts the missing
+// elements as failed extractions, mirroring the per-operation loop's
+// ok=false accounting.
+func runBatchedWorker(bq pq.Batcher, spec ThroughputSpec, r *xrand.Rand, perWorker int) (ops, failed int64) {
+	keys := make([]uint64, 0, spec.Batch)
+	dst := make([]uint64, 0, spec.Batch)
+	for done := 0; done < perWorker; {
+		sz := spec.Batch
+		if perWorker-done < sz {
+			sz = perWorker - done
+		}
+		if spec.InsertPct.IsInsert(r) {
+			keys = keys[:0]
+			for j := 0; j < sz; j++ {
+				keys = append(keys, spec.Keys.Draw(r))
+			}
+			bq.InsertBatch(keys)
+		} else {
+			dst = bq.ExtractBatch(dst[:0], sz)
+			failed += int64(sz - len(dst))
+		}
+		done += sz
+		ops += int64(sz)
+	}
+	return ops, failed
 }

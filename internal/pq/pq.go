@@ -29,6 +29,28 @@ type Named interface {
 	Name() string
 }
 
+// Closer is the optional capability interface for queues that own
+// background resources (goroutines, thread-local handles). Harness runners
+// type-assert against it at teardown instead of declaring ad-hoc
+// structural interfaces inline.
+type Closer interface {
+	Close()
+}
+
+// Batcher is the optional capability interface for queues with native
+// batch operations. The harness's batch-mode workloads use it when
+// present; implementations must provide the same relaxation/ordering
+// contract as the equivalent sequence of single-element calls.
+type Batcher interface {
+	Queue
+	// InsertBatch adds every key in keys.
+	InsertBatch(keys []uint64)
+	// ExtractBatch removes up to n high-priority keys, appending them to
+	// dst and returning the extended slice. Fewer than n appended keys
+	// means the queue was observed empty.
+	ExtractBatch(dst []uint64, n int) []uint64
+}
+
 // NameOf returns q's display name, falling back to fallback.
 func NameOf(q Queue, fallback string) string {
 	if n, ok := q.(Named); ok {

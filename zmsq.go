@@ -19,6 +19,14 @@
 // ExtractMax sleeps on an empty queue until an insert arrives or Close is
 // called.
 //
+// For bulk workloads, InsertBatch and ExtractBatch amortize per-operation
+// overhead (context acquisition, pool-slot handoff, root-lock traffic)
+// across a whole batch while observing the same relaxation contract as the
+// equivalent sequence of single-element calls. The steady-state hot paths
+// are allocation-free: set nodes recycle through a hazard-gated freelist
+// (memory-safe mode) or a sharded node cache (leaky mode), and all
+// transient buffers live in pooled per-operation contexts.
+//
 // The repository also contains the paper's baselines (mound, SprayList,
 // MultiQueue, k-LSM), the experiment harness that regenerates every table
 // and figure of the evaluation (see DESIGN.md and EXPERIMENTS.md), and

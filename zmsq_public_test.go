@@ -69,6 +69,33 @@ func TestPublicBlocking(t *testing.T) {
 	}
 }
 
+func TestPublicBatchAPI(t *testing.T) {
+	q := repro.New[string](repro.DefaultConfig())
+	q.InsertBatch([]uint64{30, 10, 20}, []string{"c", "a", "b"})
+	q.InsertBatch([]uint64{40, 50}, nil)
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d after batches", q.Len())
+	}
+	dst := make([]repro.Element[string], 0, 8)
+	dst = q.ExtractBatch(dst, 8)
+	if len(dst) != 5 {
+		t.Fatalf("ExtractBatch returned %d elements", len(dst))
+	}
+	got := make([]uint64, len(dst))
+	for i, e := range dst {
+		got[i] = e.Key
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	for i, w := range []uint64{10, 20, 30, 40, 50} {
+		if got[i] != w {
+			t.Fatalf("extracted keys %v, want 10..50", got)
+		}
+	}
+	if dst = q.ExtractBatch(dst[:0], 1); len(dst) != 0 {
+		t.Fatalf("drained queue returned %d elements", len(dst))
+	}
+}
+
 func TestPublicConfigKnobs(t *testing.T) {
 	cfg := repro.Config{
 		Batch:     4,
