@@ -298,6 +298,39 @@ func BenchmarkBatchThroughput(b *testing.B) {
 	}
 }
 
+// ---- Metrics overhead (ISSUE 3) ----
+
+// BenchmarkThroughput runs the Figure 5c-style mixed workload with
+// Config.Metrics off and on. It is the measurement target of the CI
+// metrics-overhead gate: cmd/metricsgate runs the same pair interleaved
+// in-process and fails when enabling metrics costs more than the threshold
+// (5% in CI). The instrumentation is nil-gated branches plus sharded
+// atomic adds on context-private cache lines, so the two curves should be
+// indistinguishable from run-to-run noise.
+func BenchmarkThroughput(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		metrics bool
+	}{
+		{"metrics=off", false},
+		{"metrics=on", true},
+	} {
+		for _, t := range benchThreads {
+			mode, t := mode, t
+			b.Run(fmt.Sprintf("%s/threads=%d", mode.name, t), func(b *testing.B) {
+				reportThroughput(b, func(int) pq.Queue {
+					cfg := core.DefaultConfig()
+					if mode.metrics {
+						cfg.Metrics = core.NewMetrics()
+					}
+					return harness.NewZMSQ(cfg)
+				}, harness.ThroughputSpec{Threads: t, TotalOps: benchOps, InsertPct: 50,
+					Keys: harness.Uniform20, Prefill: benchOps})
+			})
+		}
+	}
+}
+
 // ---- Figure 6: producer/consumer ratios ----
 
 func BenchmarkFig6ProducerConsumer(b *testing.B) {

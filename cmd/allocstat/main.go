@@ -38,6 +38,36 @@ type Report struct {
 	Cells []Cell `json:"cells"`
 }
 
+// modes are the config corners the trajectory tracks; buildReport measures
+// every (mode, op) combination.
+var modes = []struct {
+	name string
+	cfg  func() core.Config
+}{
+	{"leaky-list", func() core.Config { c := core.DefaultConfig(); c.Leaky = true; return c }},
+	{"array", func() core.Config { c := core.DefaultConfig(); c.ArraySet = true; return c }},
+	{"array-leaky", func() core.Config {
+		c := core.DefaultConfig()
+		c.ArraySet, c.Leaky = true, true
+		return c
+	}},
+	{"memory-safe-list", core.DefaultConfig},
+}
+
+var ops = []string{"insert+extract", "batch64"}
+
+// buildReport measures every cell and assembles the report document. Split
+// from main so tests can pin the output shape without shelling out.
+func buildReport(runs int) Report {
+	rep := Report{Tool: "allocstat", Go: runtime.Version()}
+	for _, m := range modes {
+		for _, op := range ops {
+			rep.Cells = append(rep.Cells, measure(m.name, op, m.cfg(), runs))
+		}
+	}
+	return rep
+}
+
 func main() {
 	var (
 		out  = flag.String("out", "", "write JSON here (default stdout)")
@@ -45,26 +75,7 @@ func main() {
 	)
 	flag.Parse()
 
-	modes := []struct {
-		name string
-		cfg  func() core.Config
-	}{
-		{"leaky-list", func() core.Config { c := core.DefaultConfig(); c.Leaky = true; return c }},
-		{"array", func() core.Config { c := core.DefaultConfig(); c.ArraySet = true; return c }},
-		{"array-leaky", func() core.Config {
-			c := core.DefaultConfig()
-			c.ArraySet, c.Leaky = true, true
-			return c
-		}},
-		{"memory-safe-list", core.DefaultConfig},
-	}
-
-	rep := Report{Tool: "allocstat", Go: runtime.Version()}
-	for _, m := range modes {
-		for _, op := range []string{"insert+extract", "batch64"} {
-			rep.Cells = append(rep.Cells, measure(m.name, op, m.cfg(), *runs))
-		}
-	}
+	rep := buildReport(*runs)
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -73,7 +84,7 @@ func main() {
 	}
 	enc = append(enc, '\n')
 	if *out == "" {
-		os.Stdout.Write(enc)
+		_, _ = os.Stdout.Write(enc)
 		return
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {

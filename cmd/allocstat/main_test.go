@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestReportShape pins the JSON document CI archives as
+// results/BENCH_alloc.json: downstream diffing breaks silently if a field
+// is renamed or a cell disappears, so the shape is asserted here.
+func TestReportShape(t *testing.T) {
+	rep := buildReport(256) // small run count: shape, not timing
+
+	if rep.Tool != "allocstat" {
+		t.Errorf("Tool = %q, want \"allocstat\"", rep.Tool)
+	}
+	if rep.Go == "" {
+		t.Error("Go version field is empty")
+	}
+	if want := len(modes) * len(ops); len(rep.Cells) != want {
+		t.Fatalf("got %d cells, want %d (modes × ops)", len(rep.Cells), want)
+	}
+
+	seen := map[[2]string]bool{}
+	for _, c := range rep.Cells {
+		if c.Runs <= 0 {
+			t.Errorf("cell %s/%s: Runs = %d, want > 0", c.Mode, c.Op, c.Runs)
+		}
+		if c.AllocsPerOp < 0 {
+			t.Errorf("cell %s/%s: AllocsPerOp = %v, want >= 0", c.Mode, c.Op, c.AllocsPerOp)
+		}
+		key := [2]string{c.Mode, c.Op}
+		if seen[key] {
+			t.Errorf("duplicate cell %s/%s", c.Mode, c.Op)
+		}
+		seen[key] = true
+	}
+	for _, m := range modes {
+		for _, op := range ops {
+			if !seen[[2]string{m.name, op}] {
+				t.Errorf("missing cell %s/%s", m.name, op)
+			}
+		}
+	}
+}
+
+// TestReportJSONRoundTrip asserts the wire field names — the part a Go
+// rename would silently change.
+func TestReportJSONRoundTrip(t *testing.T) {
+	in := Report{
+		Tool: "allocstat",
+		Go:   "go1.x",
+		Cells: []Cell{
+			{Mode: "memory-safe-list", Op: "insert+extract", Runs: 100, AllocsPerOp: 0.25},
+		},
+	}
+	buf, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf, &m); err != nil {
+		t.Fatalf("unmarshal into map: %v", err)
+	}
+	for _, key := range []string{"tool", "go", "cells"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("top-level JSON key %q missing", key)
+		}
+	}
+	cells, ok := m["cells"].([]any)
+	if !ok || len(cells) != 1 {
+		t.Fatalf("cells = %v, want one-element array", m["cells"])
+	}
+	cell := cells[0].(map[string]any)
+	for _, key := range []string{"mode", "op", "runs", "allocs_per_op"} {
+		if _, ok := cell[key]; !ok {
+			t.Errorf("cell JSON key %q missing", key)
+		}
+	}
+
+	var out Report
+	if err := json.Unmarshal(buf, &out); err != nil {
+		t.Fatalf("unmarshal into Report: %v", err)
+	}
+	if out.Cells[0] != in.Cells[0] || out.Tool != in.Tool || out.Go != in.Go {
+		t.Errorf("round trip changed the document: %+v != %+v", out, in)
+	}
+}

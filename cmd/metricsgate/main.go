@@ -1,0 +1,137 @@
+// Command metricsgate is the CI gate for metrics overhead: it runs the
+// BenchmarkThroughput workload (50/50 mix, uniform keys, prefilled) with
+// Config.Metrics disabled and enabled, interleaved over several rounds, and
+// fails when the best enabled throughput trails the best disabled throughput
+// by more than the threshold.
+//
+// Best-of comparison is deliberate: scheduler noise and frequency scaling
+// only ever slow a round down, so the maximum over rounds is the least noisy
+// estimator of what each configuration can do. Interleaving (and alternating
+// which mode runs first each round) keeps slow drift — thermal throttling, a
+// busy neighbour — from landing entirely on one mode.
+//
+//	go run ./cmd/metricsgate -threshold 5 -out results/BENCH_metrics.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/pq"
+)
+
+type roundResult struct {
+	Round     int     `json:"round"`
+	OffFirst  bool    `json:"off_first"`
+	OffOpsSec float64 `json:"off_ops_per_sec"`
+	OnOpsSec  float64 `json:"on_ops_per_sec"`
+}
+
+type report struct {
+	Tool         string                 `json:"tool"`
+	Go           string                 `json:"go"`
+	Spec         harness.ThroughputSpec `json:"spec"`
+	Rounds       []roundResult          `json:"rounds"`
+	BestOff      float64                `json:"best_off_ops_per_sec"`
+	BestOn       float64                `json:"best_on_ops_per_sec"`
+	OverheadPct  float64                `json:"overhead_pct"`
+	ThresholdPct float64                `json:"threshold_pct"`
+	Pass         bool                   `json:"pass"`
+	OnMetrics    *core.MetricsSnapshot  `json:"on_metrics,omitempty"`
+}
+
+func main() {
+	var (
+		rounds    = flag.Int("rounds", 7, "paired measurement rounds")
+		ops       = flag.Int("ops", 400_000, "operations per round per mode")
+		threads   = flag.Int("threads", 4, "worker goroutines")
+		mix       = flag.Int("mix", 50, "insert percentage of the mix")
+		threshold = flag.Float64("threshold", 5, "max tolerated overhead, percent")
+		out       = flag.String("out", "results/BENCH_metrics.json", "report path (empty = stdout only)")
+	)
+	flag.Parse()
+
+	spec := harness.ThroughputSpec{
+		Threads:   *threads,
+		TotalOps:  *ops,
+		InsertPct: harness.Mix(*mix),
+		Keys:      harness.Uniform20,
+		Prefill:   *ops,
+	}
+	run := func(metrics bool, seed uint64) harness.ThroughputResult {
+		s := spec
+		s.Seed = seed
+		return harness.RunThroughput(func(int) pq.Queue {
+			cfg := core.DefaultConfig()
+			if metrics {
+				cfg.Metrics = core.NewMetrics()
+			}
+			return harness.NewZMSQ(cfg)
+		}, s)
+	}
+
+	rep := report{
+		Tool:         "metricsgate",
+		Go:           runtime.Version(),
+		Spec:         spec,
+		ThresholdPct: *threshold,
+	}
+	// Warm-up round: page in the binary, spin up the scheduler. Discarded.
+	run(false, 0xdead)
+
+	var lastOn harness.ThroughputResult
+	for i := 0; i < *rounds; i++ {
+		seed := uint64(i + 1)
+		offFirst := i%2 == 0
+		var off, on harness.ThroughputResult
+		if offFirst {
+			off, on = run(false, seed), run(true, seed)
+		} else {
+			on, off = run(true, seed), run(false, seed)
+		}
+		lastOn = on
+		rr := roundResult{Round: i, OffFirst: offFirst,
+			OffOpsSec: off.OpsPerSec(), OnOpsSec: on.OpsPerSec()}
+		rep.Rounds = append(rep.Rounds, rr)
+		if rr.OffOpsSec > rep.BestOff {
+			rep.BestOff = rr.OffOpsSec
+		}
+		if rr.OnOpsSec > rep.BestOn {
+			rep.BestOn = rr.OnOpsSec
+		}
+		fmt.Printf("metricsgate: round %d  off=%.2f Mops/s  on=%.2f Mops/s\n",
+			i, rr.OffOpsSec/1e6, rr.OnOpsSec/1e6)
+	}
+	rep.OnMetrics = lastOn.Metrics
+	if rep.BestOff > 0 {
+		rep.OverheadPct = 100 * (rep.BestOff - rep.BestOn) / rep.BestOff
+	}
+	rep.Pass = rep.OverheadPct <= *threshold
+
+	if *out != "" {
+		if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "metricsgate:", err)
+			os.Exit(1)
+		}
+		buf, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "metricsgate:", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("metricsgate: best off=%.2f Mops/s  on=%.2f Mops/s  overhead=%.2f%% (threshold %.1f%%)\n",
+		rep.BestOff/1e6, rep.BestOn/1e6, rep.OverheadPct, *threshold)
+	if !rep.Pass {
+		fmt.Fprintf(os.Stderr, "metricsgate: FAIL — metrics overhead %.2f%% exceeds %.1f%%\n",
+			rep.OverheadPct, *threshold)
+		os.Exit(1)
+	}
+	fmt.Println("metricsgate: PASS")
+}

@@ -66,7 +66,9 @@ func main() {
 	txt, err := os.Create(filepath.Join(*out, "runall.txt"))
 	if err == nil {
 		err = rec.WriteText(txt)
-		txt.Close()
+		if cerr := txt.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "write text:", err)
@@ -75,7 +77,9 @@ func main() {
 	csvf, err := os.Create(filepath.Join(*out, "runall.csv"))
 	if err == nil {
 		err = rec.WriteCSV(csvf)
-		csvf.Close()
+		if cerr := csvf.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "write csv:", err)

@@ -19,12 +19,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -34,15 +37,77 @@ import (
 	"repro/internal/spray"
 )
 
+// Metrics plumbing (-metrics / -metricsout / -metricsaddr): when enabled,
+// every ZMSQ the experiments build carries Config.Metrics, each cell's
+// post-run snapshot is collected for the JSON report, and the live
+// observability endpoints serve whichever queue ran most recently.
+var (
+	metricsOn   bool
+	liveSnap    atomic.Pointer[func() core.MetricsSnapshot]
+	metricsRows []metricsRow
+)
+
+type metricsRow struct {
+	Experiment string               `json:"experiment"`
+	Cell       string               `json:"cell"`
+	Threads    int                  `json:"threads"`
+	OpsPerSec  float64              `json:"ops_per_sec"`
+	Metrics    core.MetricsSnapshot `json:"metrics"`
+}
+
+// mkZMSQ is the experiments' queue constructor: harness.NewZMSQ plus the
+// -metrics instrumentation and live-endpoint registration.
+func mkZMSQ(cfg core.Config) *harness.ZMSQ {
+	if metricsOn {
+		cfg.Metrics = core.NewMetrics()
+	}
+	z := harness.NewZMSQ(cfg)
+	if metricsOn {
+		f := z.Q.Snapshot
+		liveSnap.Store(&f)
+	}
+	return z
+}
+
+// collect runs one throughput cell and files its metrics snapshot (if any)
+// under the experiment/cell labels for the -metricsout report.
+func collect(experiment, cell string, mk harness.QueueMaker, spec harness.ThroughputSpec) harness.ThroughputResult {
+	res := harness.RunThroughput(mk, spec)
+	if res.Metrics != nil {
+		metricsRows = append(metricsRows, metricsRow{
+			Experiment: experiment, Cell: cell, Threads: spec.Threads,
+			OpsPerSec: res.OpsPerSec(), Metrics: *res.Metrics,
+		})
+	}
+	return res
+}
+
 func main() {
 	var (
-		experiment = flag.String("experiment", "fig5c", "fig2a|fig2b|fig3a|fig3b|fig5a|fig5b|fig5c|batch")
-		threadsCSV = flag.String("threads", defaultThreads(), "comma-separated thread counts")
-		ops        = flag.Int("ops", 1_000_000, "total operations per cell")
-		keybits    = flag.Int("keybits", 20, "key width in bits: 20 or 7 (§4.5.1)")
-		seed       = flag.Uint64("seed", 1, "workload seed")
+		experiment  = flag.String("experiment", "fig5c", "fig2a|fig2b|fig3a|fig3b|fig5a|fig5b|fig5c|batch")
+		threadsCSV  = flag.String("threads", defaultThreads(), "comma-separated thread counts")
+		ops         = flag.Int("ops", 1_000_000, "total operations per cell")
+		keybits     = flag.Int("keybits", 20, "key width in bits: 20 or 7 (§4.5.1)")
+		seed        = flag.Uint64("seed", 1, "workload seed")
+		metrics     = flag.Bool("metrics", false, "enable Config.Metrics on every ZMSQ cell")
+		metricsOut  = flag.String("metricsout", "", "write per-cell metrics JSON here (implies -metrics)")
+		metricsAddr = flag.String("metricsaddr", "", "serve /metrics, /metrics.json, /debug/pprof here during the run (implies -metrics)")
 	)
 	flag.Parse()
+	metricsOn = *metrics || *metricsOut != "" || *metricsAddr != ""
+	if *metricsAddr != "" {
+		mux := harness.NewMetricsMux(func() core.MetricsSnapshot {
+			if f := liveSnap.Load(); f != nil {
+				return (*f)()
+			}
+			return core.MetricsSnapshot{}
+		})
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "zmsqbench: metrics server:", err)
+			}
+		}()
+	}
 
 	threads, err := parseThreads(*threadsCSV)
 	if err != nil {
@@ -66,6 +131,21 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
+	}
+
+	if *metricsOut != "" {
+		enc, err := json.MarshalIndent(struct {
+			Tool string       `json:"tool"`
+			Rows []metricsRow `json:"rows"`
+		}{Tool: "zmsqbench", Rows: metricsRows}, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*metricsOut, append(enc, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zmsqbench: writing -metricsout:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# metrics: %d cells written to %s\n", len(metricsRows), *metricsOut)
 	}
 }
 
@@ -110,8 +190,8 @@ func runFig2(which string, threads []int, ops int, seed uint64) {
 	for _, t := range threads {
 		for _, cell := range cells {
 			cfg := cell.cfg
-			mk := func(int) pq.Queue { return harness.NewZMSQ(cfg) }
-			res := harness.RunThroughput(mk, harness.ThroughputSpec{
+			mk := func(int) pq.Queue { return mkZMSQ(cfg) }
+			res := collect(which, cell.name, mk, harness.ThroughputSpec{
 				Threads: t, TotalOps: ops, InsertPct: mix,
 				Keys: harness.Normal20, Prefill: prefill, Seed: seed,
 			})
@@ -135,14 +215,14 @@ func runFig3(which string, threads []int, ops int, seed uint64) {
 	}
 	dynamic := func(name string, batchOf, targetOf func(t int) int) cfgFn {
 		return cfgFn{name, func(t int) pq.Queue {
-			return harness.NewZMSQ(core.Config{
+			return mkZMSQ(core.Config{
 				Batch: batchOf(t), TargetLen: targetOf(t), Lock: locks.TATAS,
 			})
 		}}
 	}
 	static := func(n int) cfgFn {
 		return cfgFn{fmt.Sprintf("static(%d,%d)", n, n), func(int) pq.Queue {
-			return harness.NewZMSQ(core.Config{Batch: n, TargetLen: n, Lock: locks.TATAS})
+			return mkZMSQ(core.Config{Batch: n, TargetLen: n, Lock: locks.TATAS})
 		}}
 	}
 	cells := []cfgFn{
@@ -155,7 +235,7 @@ func runFig3(which string, threads []int, ops int, seed uint64) {
 	}
 	for _, t := range threads {
 		for _, cell := range cells {
-			res := harness.RunThroughput(func(int) pq.Queue { return cell.mk(t) }, harness.ThroughputSpec{
+			res := collect(which, cell.name, func(int) pq.Queue { return cell.mk(t) }, harness.ThroughputSpec{
 				Threads: t, TotalOps: ops, InsertPct: mix,
 				Keys: harness.Normal20, Prefill: prefill, Seed: seed,
 			})
@@ -174,8 +254,8 @@ func runBatch(threads []int, ops int, keys harness.KeyDist, seed uint64) {
 	fmt.Printf("# Batch API: 50%% inserts on prefilled queue, %d ops, default config\n", ops)
 	for _, t := range threads {
 		for _, bs := range []int{1, 8, 48, 256} {
-			res := harness.RunThroughput(
-				func(int) pq.Queue { return harness.NewZMSQ(core.DefaultConfig()) },
+			res := collect("batch", fmt.Sprintf("batchsize=%d", bs),
+				func(int) pq.Queue { return mkZMSQ(core.DefaultConfig()) },
 				harness.ThroughputSpec{
 					Threads: t, TotalOps: ops, InsertPct: 50,
 					Keys: keys, Prefill: ops, Batch: bs, Seed: seed,
@@ -206,7 +286,7 @@ func runFig5(which string, threads []int, ops int, keys harness.KeyDist, seed ui
 			if mod != nil {
 				mod(&cfg)
 			}
-			return harness.NewZMSQ(cfg)
+			return mkZMSQ(cfg)
 		}
 	}
 	cells := []struct {
@@ -221,7 +301,7 @@ func runFig5(which string, threads []int, ops int, keys harness.KeyDist, seed ui
 	}
 	for _, t := range threads {
 		for _, cell := range cells {
-			res := harness.RunThroughput(cell.mk, harness.ThroughputSpec{
+			res := collect(which, cell.name, cell.mk, harness.ThroughputSpec{
 				Threads: t, TotalOps: ops, InsertPct: mix,
 				Keys: keys, Seed: seed,
 			})

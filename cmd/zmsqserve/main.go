@@ -1,0 +1,104 @@
+// Command zmsqserve runs a metrics-enabled ZMSQ under a continuous
+// synthetic workload and serves the observability endpoints:
+//
+//	/metrics       Prometheus text exposition (scrape this)
+//	/metrics.json  the full MetricsSnapshot as JSON
+//	/debug/vars    expvar (snapshot under "zmsq")
+//	/debug/pprof/  CPU/heap/goroutine profiling
+//
+// It exists so the instrumentation can be watched live — point a browser
+// or `curl` at it, or scrape it from Prometheus — without wiring the queue
+// into an application first:
+//
+//	go run ./cmd/zmsqserve -addr :8217 -threads 8 -mix 50
+//	curl localhost:8217/metrics
+//
+// The workload is the harness's throughput mix (insert percentage, uniform
+// keys) applied forever; SIGINT/SIGTERM drains and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/xrand"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8217", "listen address for the metrics endpoints")
+		threads = flag.Int("threads", 4, "workload goroutines (0 serves an idle queue)")
+		mix     = flag.Int("mix", 50, "insert percentage of the workload mix")
+		prefill = flag.Int("prefill", 1<<16, "elements inserted before the workload starts")
+		batch   = flag.Int("batch", core.DefaultBatch, "queue relaxation (Config.Batch)")
+		array   = flag.Bool("array", false, "use array sets instead of lists")
+		leaky   = flag.Bool("leaky", false, "disable hazard-pointer memory safety")
+		pace    = flag.Duration("pace", 50*time.Microsecond, "sleep between worker operations (0 = flat out)")
+		seed    = flag.Uint64("seed", 1, "workload RNG seed")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Batch = *batch
+	cfg.ArraySet = *array
+	cfg.Leaky = *leaky
+	cfg.Seed = *seed
+	cfg.Metrics = core.NewMetrics()
+	q := core.New[struct{}](cfg)
+
+	r := xrand.New(*seed ^ 0xfeed)
+	for i := 0; i < *prefill; i++ {
+		q.Insert(r.Uint64()>>16, struct{}{})
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var wg sync.WaitGroup
+	for w := 0; w < *threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(*seed + uint64(w)*0x9e3779b97f4a7c15)
+			for ctx.Err() == nil {
+				if int(rng.Uint64n(100)) < *mix {
+					q.Insert(rng.Uint64()>>16, struct{}{})
+				} else {
+					q.TryExtractMax()
+				}
+				if *pace > 0 {
+					time.Sleep(*pace)
+				}
+			}
+		}(w)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: harness.NewMetricsMux(q.Snapshot)}
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+	}()
+
+	fmt.Printf("zmsqserve: serving /metrics /metrics.json /debug/vars /debug/pprof on %s (threads=%d mix=%d%% batch=%d)\n",
+		*addr, *threads, *mix, *batch)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "zmsqserve:", err)
+		os.Exit(1)
+	}
+	wg.Wait()
+	q.Close()
+	snap := q.Snapshot()
+	fmt.Printf("zmsqserve: done — %d inserts, %d extracts, %d refills, node-cache hit rate %.3f\n",
+		snap.InsertsTotal(), snap.ExtractsTotal(), snap.PoolRefills, snap.NodeCacheHitRate())
+}

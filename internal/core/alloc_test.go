@@ -36,7 +36,7 @@ func zeroAllocConfigs() []struct {
 	array.ArraySet = true
 	arrayLeaky := DefaultConfig()
 	arrayLeaky.ArraySet, arrayLeaky.Leaky = true, true
-	return []struct {
+	out := []struct {
 		name string
 		cfg  Config
 	}{
@@ -44,6 +44,18 @@ func zeroAllocConfigs() []struct {
 		{"array", array},
 		{"array-leaky", arrayLeaky},
 	}
+	// The metrics hook must not cost an allocation: every instrumented
+	// variant carries the same zero-alloc contract as its plain twin
+	// (ISSUE 3 acceptance).
+	for _, mode := range out[:len(out):len(out)] {
+		cfg := mode.cfg
+		cfg.Metrics = NewMetrics()
+		out = append(out, struct {
+			name string
+			cfg  Config
+		}{mode.name + "+metrics", cfg})
+	}
+	return out
 }
 
 // warmQueue builds a queue at a steady-state size with warmed context

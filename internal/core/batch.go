@@ -68,7 +68,7 @@ func (q *Queue[V]) ExtractBatch(dst []Element[V], n int) []Element[V] {
 	need := n
 	for attempt := 0; need > 0; attempt++ {
 		if q.batch > 0 {
-			if k, v, ok := q.extractFromPool(); ok {
+			if k, v, ok := q.extractFromPool(ctx); ok {
 				dst = append(dst, Element[V]{Key: k, Val: v})
 				need--
 				attempt = 0
@@ -109,9 +109,11 @@ func (q *Queue[V]) extractManyFromRoot(ctx *opCtx[V], dst []Element[V], need int
 		// Chaos hook: a forced trylock failure behaves exactly like losing
 		// the race to a concurrent refiller; see extractFromRoot.
 		if q.faults != nil && q.faults.Fire(fault.TryLock) {
+			q.countRaced(ctx)
 			return dst, 0, extractRaced
 		}
 		if !root.lock.TryLock() {
+			q.countRaced(ctx)
 			return dst, 0, extractRaced
 		}
 	} else {
@@ -120,11 +122,15 @@ func (q *Queue[V]) extractManyFromRoot(ctx *opCtx[V], dst []Element[V], need int
 	if q.batch > 0 && q.poolNext.Load() > 0 {
 		// Someone refilled between our pool miss and taking the lock.
 		root.lock.Unlock()
+		q.countRaced(ctx)
 		return dst, 0, extractRaced
 	}
 	cnt := root.count.Load()
 	if cnt == 0 {
 		root.lock.Unlock()
+		if m := q.met; m != nil {
+			m.ExtractEmpty.Inc(ctx.al.shard)
+		}
 		return dst, 0, extractEmpty
 	}
 	m := need
@@ -145,5 +151,13 @@ func (q *Queue[V]) extractManyFromRoot(ctx *opCtx[V], dst []Element[V], need int
 		root.max.Store(root.set.maxKey())
 	}
 	q.swapDown(ctx, 0, 0) // repairs invariant and unlocks the root chain
+	if met := q.met; met != nil {
+		met.ExtractRootElems.Add(ctx.al.shard, uint64(m))
+		met.BatchGrabSize.Observe(ctx.al.shard, uint64(m))
+		if ctx.sctr++; ctx.sctr&(rankSampleEvery-1) == 0 {
+			// The grab's first element is the root maximum: rank 0.
+			met.RankError.Observe(ctx.al.shard, 0)
+		}
+	}
 	return dst, m, extractGot
 }

@@ -105,6 +105,15 @@ type Config struct {
 	// deterministic.
 	Seed uint64
 
+	// Metrics, when non-nil, receives hot-path instrumentation: insert and
+	// extraction outcome counters, refill/batch-size histograms, allocator
+	// hit rates, trylock contention, and a sampled rank-error estimate of
+	// live quality. nil (the default) compiles every instrumentation site
+	// down to a single predictable branch; enabled, the cost is an atomic
+	// add on a context-private cache line (see internal/metrics and the
+	// CI overhead gate). Read it through Queue.Snapshot.
+	Metrics *Metrics
+
 	// Faults, when non-nil, injects deterministic faults at the queue's
 	// four riskiest synchronization surfaces: TNode trylock acquisition,
 	// pool-slot handoff, hazard-pointer reclamation scans, and tree
@@ -141,11 +150,16 @@ func (c Config) Validate() error {
 
 // DefaultConfig returns the paper's recommended configuration: batch = 48,
 // targetLen = 72, TATAS trylocks, memory-safe list sets, blocking disabled.
+// Building with the zmsq_arrayset tag flips the default set implementation
+// to the fixed-capacity array (see setmode_list.go / setmode_array.go), so
+// CI can run the whole suite in both set modes; explicit Config literals
+// are unaffected.
 func DefaultConfig() Config {
 	return Config{
 		Batch:     DefaultBatch,
 		TargetLen: DefaultTargetLen,
 		Lock:      locks.TATAS,
+		ArraySet:  defaultArraySet,
 	}
 }
 

@@ -77,7 +77,7 @@ func (q *Queue[V]) ExtractMax() (key uint64, val V, ok bool) {
 func (q *Queue[V]) tryExtract(ctx *opCtx[V]) (uint64, V, bool) {
 	for attempt := 0; ; attempt++ {
 		if q.batch > 0 {
-			if k, v, ok := q.extractFromPool(); ok {
+			if k, v, ok := q.extractFromPool(ctx); ok {
 				return k, v, true
 			}
 		}
@@ -97,10 +97,18 @@ func (q *Queue[V]) tryExtract(ctx *opCtx[V]) (uint64, V, bool) {
 	}
 }
 
+// countRaced records a lost extraction race (trylock miss or a refill
+// landing between the pool miss and the root lock).
+func (q *Queue[V]) countRaced(ctx *opCtx[V]) {
+	if m := q.met; m != nil {
+		m.ExtractRaced.Inc(ctx.al.shard)
+	}
+}
+
 // extractFromPool claims one pool element with a fetch-and-decrement. A
 // claim owns pool[idx] exclusively until it clears the slot's full flag,
 // which is what licenses the next refiller to overwrite the slot.
-func (q *Queue[V]) extractFromPool() (uint64, V, bool) {
+func (q *Queue[V]) extractFromPool(ctx *opCtx[V]) (uint64, V, bool) {
 	var zero V
 	if q.poolNext.Load() <= 0 {
 		return 0, zero, false
@@ -117,6 +125,20 @@ func (q *Queue[V]) extractFromPool() (uint64, V, bool) {
 	// wait-for-lagging-consumers loop.
 	q.faults.Stall(fault.PoolHandoff)
 	slot.full.Store(0) // release the slot to future refillers
+	if m := q.met; m != nil {
+		m.ExtractPoolHit.Inc(ctx.al.shard)
+		if ctx.sctr++; ctx.sctr&(rankSampleEvery-1) == 0 {
+			// Rank at refill time: the refiller took rank 0 and the pool is
+			// claimed from the top down, so pool[idx] of a gen-sized refill
+			// was rank gen-idx. A claim racing the next refill can read a
+			// newer gen; clamp rather than pay for a consistent pair.
+			rank := q.poolGen.Load() - idx
+			if rank < 0 {
+				rank = 0
+			}
+			m.RankError.Observe(ctx.al.shard, uint64(rank))
+		}
+	}
 	return k, v, true
 }
 
@@ -135,10 +157,12 @@ func (q *Queue[V]) extractFromRoot(ctx *opCtx[V], force bool) (uint64, V, extrac
 		// the race to a concurrent refiller. The force path (attempt >= 16)
 		// deliberately bypasses injection so progress is never starved.
 		if q.faults != nil && q.faults.Fire(fault.TryLock) {
+			q.countRaced(ctx)
 			return 0, zero, extractRaced
 		}
 		if !root.lock.TryLock() {
 			// Likely a concurrent refill; go back to the pool.
+			q.countRaced(ctx)
 			return 0, zero, extractRaced
 		}
 	} else {
@@ -147,11 +171,15 @@ func (q *Queue[V]) extractFromRoot(ctx *opCtx[V], force bool) (uint64, V, extrac
 	if q.batch > 0 && q.poolNext.Load() > 0 {
 		// Someone refilled between our pool miss and taking the lock.
 		root.lock.Unlock()
+		q.countRaced(ctx)
 		return 0, zero, extractRaced
 	}
 	cnt := root.count.Load()
 	if cnt == 0 {
 		root.lock.Unlock()
+		if m := q.met; m != nil {
+			m.ExtractEmpty.Inc(ctx.al.shard)
+		}
 		return 0, zero, extractEmpty
 	}
 
@@ -178,9 +206,15 @@ func (q *Queue[V]) extractFromRoot(ctx *opCtx[V], force bool) (uint64, V, extrac
 			q.pool[i].full.Store(1)
 		}
 		// Publish after all slots are written; the publishing store
-		// happens-before any claim that observes it.
+		// happens-before any claim that observes it. poolGen first, so any
+		// claim that observes the new poolNext sees this refill's size.
+		q.poolGen.Store(int64(n))
 		q.poolNext.Store(int64(n))
 		cnt -= int64(n)
+		if m := q.met; m != nil {
+			m.PoolRefills.Inc(ctx.al.shard)
+			m.PoolRefillSize.Observe(ctx.al.shard, uint64(n))
+		}
 	}
 
 	root.count.Store(cnt)
@@ -188,6 +222,13 @@ func (q *Queue[V]) extractFromRoot(ctx *opCtx[V], force bool) (uint64, V, extrac
 		root.max.Store(root.set.maxKey())
 	}
 	q.swapDown(ctx, 0, 0) // repairs invariant and unlocks the root chain
+	if m := q.met; m != nil {
+		m.ExtractRootElems.Inc(ctx.al.shard)
+		if ctx.sctr++; ctx.sctr&(rankSampleEvery-1) == 0 {
+			// The refiller keeps the root maximum: rank 0 by construction.
+			m.RankError.Observe(ctx.al.shard, 0)
+		}
+	}
 	return e.key, e.val, extractGot
 }
 
@@ -223,6 +264,9 @@ func (q *Queue[V]) swapDown(ctx *opCtx[V], level, slot int) {
 			return
 		}
 		swapContents(n, c)
+		if m := q.met; m != nil {
+			m.SwapDownMoves.Inc(ctx.al.shard)
+		}
 		if c == l {
 			r.lock.Unlock()
 		} else {

@@ -43,14 +43,30 @@ func (q *Queue[V]) insert(ctx *opCtx[V], e element[V]) {
 		}
 		if force {
 			if q.forcedInsert(ctx, level, slot, e, bypass) {
+				if m := q.met; m != nil {
+					m.InsertForced.Inc(ctx.al.shard)
+				}
 				return
 			}
+			q.countInsertRetry(ctx)
 			continue
 		}
 		lvl, slt := q.binarySearchPosition(ctx, level, slot, e.key)
 		if q.regularInsert(ctx, lvl, slt, e, bypass) {
+			if m := q.met; m != nil {
+				m.InsertRegular.Inc(ctx.al.shard)
+			}
 			return
 		}
+		q.countInsertRetry(ctx)
+	}
+}
+
+// countInsertRetry records one failed placement attempt (lock or
+// validation failure) that restarted insert along a new random path.
+func (q *Queue[V]) countInsertRetry(ctx *opCtx[V]) {
+	if m := q.met; m != nil {
+		m.InsertRetries.Inc(ctx.al.shard)
 	}
 }
 
@@ -123,14 +139,23 @@ func (q *Queue[V]) binarySearchPosition(ctx *opCtx[V], level, slot int, key uint
 // since a locked node's cached fields are likely to fail validation anyway.
 // bypass skips fault injection (not the real trylock): callers set it after
 // repeated failures so an always-fail schedule cannot starve them.
-func (q *Queue[V]) lockNode(n *tnode[V], bypass bool) bool {
+func (q *Queue[V]) lockNode(ctx *opCtx[V], n *tnode[V], bypass bool) bool {
 	if q.useTry {
 		// Chaos hook: a forced failure is indistinguishable from losing the
 		// trylock race; the caller restarts along a different random path.
 		if !bypass && q.faults != nil && q.faults.Fire(fault.TryLock) {
+			if m := q.met; m != nil {
+				m.TryLockFail.Inc(ctx.al.shard)
+			}
 			return false
 		}
-		return n.lock.TryLock()
+		if n.lock.TryLock() {
+			return true
+		}
+		if m := q.met; m != nil {
+			m.TryLockFail.Inc(ctx.al.shard)
+		}
+		return false
 	}
 	n.lock.Lock()
 	return true
@@ -141,7 +166,7 @@ func (q *Queue[V]) lockNode(n *tnode[V], bypass bool) bool {
 // (Listing 1 lines 37-48).
 func (q *Queue[V]) forcedInsert(ctx *opCtx[V], level, slot int, e element[V], bypass bool) bool {
 	n := q.node(level, slot)
-	if !q.lockNode(n, bypass) {
+	if !q.lockNode(ctx, n, bypass) {
 		return false
 	}
 	cnt := n.count.Load()
@@ -194,7 +219,7 @@ func (q *Queue[V]) addLocked(ctx *opCtx[V], n *tnode[V], e element[V]) {
 func (q *Queue[V]) regularInsert(ctx *opCtx[V], level, slot int, e element[V], bypass bool) bool {
 	n := q.node(level, slot)
 	if level == 0 {
-		if !q.lockNode(n, bypass) {
+		if !q.lockNode(ctx, n, bypass) {
 			return false
 		}
 		if n.count.Load() > 0 && e.key < n.max.Load() {
@@ -207,10 +232,10 @@ func (q *Queue[V]) regularInsert(ctx *opCtx[V], level, slot int, e element[V], b
 	}
 
 	p := q.node(level-1, slot/2)
-	if !q.lockNode(p, bypass) {
+	if !q.lockNode(ctx, p, bypass) {
 		return false
 	}
-	if !q.lockNode(n, bypass) {
+	if !q.lockNode(ctx, n, bypass) {
 		p.lock.Unlock()
 		return false
 	}
@@ -250,6 +275,9 @@ func (q *Queue[V]) rootFallbackInsert(ctx *opCtx[V], e element[V]) {
 	n.lock.Lock()
 	q.addLocked(ctx, n, e)
 	q.maybeSplit(ctx, 0, 0, n)
+	if m := q.met; m != nil {
+		m.InsertRootFallback.Inc(ctx.al.shard)
+	}
 }
 
 // maybeSplit restores the 2×targetLen set-size bound on locked node n,

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/contract"
+	"repro/internal/xrand"
+)
+
+// TestSnapshotReconcilesWithContractChecker cross-validates the metrics
+// layer against the contract checker (ISSUE 3 acceptance): both observe
+// the same concurrent run, and conservation must agree — every recorded
+// insert appears in exactly one insert-outcome counter, every successful
+// extraction in exactly one extraction-outcome counter, and every failed
+// extraction as one empty observation.
+func TestSnapshotReconcilesWithContractChecker(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Metrics = NewMetrics()
+	q := New[int](cfg)
+	defer q.Close()
+
+	chk := contract.NewChecker(contract.Config{Batch: cfg.Batch})
+	const workers = 4
+	const opsPer = 8000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		rec := chk.Recorder()
+		rng := xrand.New(uint64(w + 1))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				if i%3 != 2 {
+					k := rng.Uint64() >> 40
+					rec.WillInsert(k)
+					q.Insert(k, 0)
+					rec.DidInsert()
+				} else {
+					rec.WillExtract()
+					k, _, ok := q.TryExtractMax()
+					rec.DidExtract(k, ok)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep, err := chk.Verify()
+	if err != nil {
+		t.Fatalf("contract violated during metrics run: %v", err)
+	}
+	snap := q.Snapshot()
+	if !snap.Enabled {
+		t.Fatal("Snapshot().Enabled = false with Config.Metrics set")
+	}
+
+	if got, want := snap.InsertsTotal(), uint64(rep.Inserts); got != want {
+		t.Errorf("InsertsTotal() = %d (regular %d + forced %d + fallback %d), checker recorded %d inserts",
+			got, snap.InsertRegular, snap.InsertForced, snap.InsertRootFallback, want)
+	}
+	succeeded := uint64(rep.Extracts)
+	if got := snap.ExtractsTotal(); got != succeeded {
+		t.Errorf("ExtractsTotal() = %d (pool %d + root %d), checker recorded %d successful extractions",
+			got, snap.ExtractPoolHit, snap.ExtractRootElems, succeeded)
+	}
+	if got, want := snap.ExtractEmpty, uint64(rep.FailedExtracts); got != want {
+		t.Errorf("ExtractEmpty = %d, checker recorded %d failed extractions", got, want)
+	}
+	if got, want := snap.Len, rep.Remaining; got != want {
+		t.Errorf("snapshot Len = %d, checker multiset remaining = %d", got, want)
+	}
+	if snap.PoolRefills != snap.PoolRefillSize.Count {
+		t.Errorf("PoolRefills = %d but PoolRefillSize recorded %d samples",
+			snap.PoolRefills, snap.PoolRefillSize.Count)
+	}
+	if snap.PoolRefills == 0 {
+		t.Error("PoolRefills = 0; a run this size must refill the pool")
+	}
+	if snap.RankError.Count == 0 {
+		t.Error("RankError recorded no samples; the 1-in-8 sampler should have fired")
+	}
+	// Quantile reports bucket upper bounds, so compare against the bound of
+	// the bucket Batch itself lands in.
+	if limit := uint64(2*cfg.Batch - 1); snap.PoolRefillSize.Quantile(1) > limit {
+		t.Errorf("PoolRefillSize max %d exceeds the Batch=%d bucket bound %d",
+			snap.PoolRefillSize.Quantile(1), cfg.Batch, limit)
+	}
+}
+
+func TestSnapshotDisabled(t *testing.T) {
+	q := New[int](DefaultConfig())
+	defer q.Close()
+	q.Insert(7, 0)
+	snap := q.Snapshot()
+	if snap.Enabled {
+		t.Error("Enabled = true without Config.Metrics")
+	}
+	if snap.InsertsTotal() != 0 {
+		t.Errorf("InsertsTotal() = %d without metrics, want 0", snap.InsertsTotal())
+	}
+	if snap.Len != 1 {
+		t.Errorf("gauge Len = %d, want 1 (gauges fill even when disabled)", snap.Len)
+	}
+}
+
+func TestSnapshotSerialization(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Metrics = NewMetrics()
+	q := New[int](cfg)
+	defer q.Close()
+	for i := 0; i < 500; i++ {
+		q.Insert(uint64(i), i)
+	}
+	for i := 0; i < 200; i++ {
+		q.TryExtractMax()
+	}
+	snap := q.Snapshot()
+
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("json.Marshal: %v", err)
+	}
+	var back MetricsSnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("json.Unmarshal: %v", err)
+	}
+	if back.InsertsTotal() != snap.InsertsTotal() || back.ExtractsTotal() != snap.ExtractsTotal() {
+		t.Errorf("JSON round-trip changed totals: %d/%d -> %d/%d",
+			snap.InsertsTotal(), snap.ExtractsTotal(), back.InsertsTotal(), back.ExtractsTotal())
+	}
+
+	var sb strings.Builder
+	if err := snap.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"zmsq_insert_regular_total",
+		"zmsq_extract_pool_hit_total",
+		"zmsq_pool_refill_size_bucket",
+		"zmsq_rank_error_sample_count",
+		"zmsq_len",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q", want)
+		}
+	}
+}

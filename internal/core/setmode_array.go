@@ -1,0 +1,9 @@
+//go:build zmsq_arrayset
+
+package core
+
+// defaultArraySet under the zmsq_arrayset tag: DefaultConfig selects the
+// unsorted fixed-capacity array sets, letting CI run the whole suite in
+// array mode. Tests that need a specific set implementation build their
+// Config explicitly and are unaffected.
+const defaultArraySet = true

@@ -1,0 +1,9 @@
+//go:build !zmsq_arrayset
+
+package core
+
+// defaultArraySet selects the set implementation DefaultConfig uses. The
+// default build picks the paper's sorted-list sets; building with
+// -tags zmsq_arrayset flips it so CI exercises the array-set code paths
+// under the full test suite without touching individual tests.
+const defaultArraySet = false

@@ -63,18 +63,36 @@ type alloc[V any] struct {
 	q     *Queue[V]
 	h     *hazard.Handle // nil in leaky mode
 	cache *nodeCache[V]  // nil unless leaky list mode
+	met   *Metrics       // nil unless Config.Metrics was set
 	shard uint32         // node-cache shard hash for this context
 }
 
 func (a *alloc[V]) get() *lnode[V] {
 	if a.h != nil {
 		if n := a.q.free.pop(); n != nil {
+			if a.met != nil {
+				a.met.NodeCacheHit.Inc(a.shard)
+			}
 			return n
+		}
+		if a.met != nil {
+			a.met.NodeCacheMiss.Inc(a.shard)
 		}
 		return new(lnode[V])
 	}
 	if a.cache != nil {
-		return a.cache.get(a.shard)
+		n, hit := a.cache.get(a.shard)
+		if a.met != nil {
+			if hit {
+				a.met.NodeCacheHit.Inc(a.shard)
+			} else {
+				a.met.NodeCacheMiss.Inc(a.shard)
+			}
+		}
+		return n
+	}
+	if a.met != nil {
+		a.met.NodeCacheMiss.Inc(a.shard)
 	}
 	return new(lnode[V])
 }
@@ -124,7 +142,9 @@ func newNodeCache[V any]() *nodeCache[V] {
 	return c
 }
 
-func (c *nodeCache[V]) get(shard uint32) *lnode[V] {
+// get pops a recycled lnode, reporting hit=false only when it had to
+// allocate fresh (the sync.Pool overflow still counts as recycling).
+func (c *nodeCache[V]) get(shard uint32) (*lnode[V], bool) {
 	s := &c.shards[shard%nodeCacheShards]
 	s.mu.Lock()
 	if k := len(s.nodes); k > 0 {
@@ -132,13 +152,13 @@ func (c *nodeCache[V]) get(shard uint32) *lnode[V] {
 		s.nodes[k-1] = nil
 		s.nodes = s.nodes[:k-1]
 		s.mu.Unlock()
-		return n
+		return n, true
 	}
 	s.mu.Unlock()
 	if v := c.overflow.Get(); v != nil {
-		return v.(*lnode[V])
+		return v.(*lnode[V]), true
 	}
-	return new(lnode[V])
+	return new(lnode[V]), false
 }
 
 func (c *nodeCache[V]) put(shard uint32, n *lnode[V]) {
@@ -208,6 +228,9 @@ type opCtx[V any] struct {
 	al      alloc[V]
 	scratch []element[V]
 	split   []element[V]
+	// sctr drives the metrics rank-error sampler: one in rankSampleEvery
+	// extractions on this context records a sample (see Metrics.RankError).
+	sctr uint32
 }
 
 // clearHazards empties the traversal hazard slots at the end of an

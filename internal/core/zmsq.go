@@ -35,10 +35,17 @@ type Queue[V any] struct {
 	// pool[0..poolNext-1] hold claimable elements; claims decrement it.
 	pool     []poolSlot[V]
 	poolNext atomic.Int64
+	// poolGen is the size of the most recent refill, stored under the root
+	// lock just before poolNext publishes it. A sampled pool claim at index
+	// idx uses it to estimate the element's rank at refill time (gen - idx);
+	// see Metrics.RankError. Telemetry only — never consulted for
+	// correctness.
+	poolGen atomic.Int64
 
 	ring    *waitring.Ring  // non-nil iff cfg.Blocking
 	dom     *hazard.Domain  // non-nil iff memory-safe list mode (see New)
 	faults  *fault.Injector // non-nil only under chaos testing
+	met     *Metrics        // non-nil iff cfg.Metrics was set
 	free    freelist[V]
 	cache   *nodeCache[V] // non-nil iff leaky list mode
 	reclaim func(hazard.Ptr)
@@ -77,6 +84,7 @@ func New[V any](cfg Config) *Queue[V] {
 		targetLen: cfg.TargetLen,
 		useTry:    !cfg.NoTryLock,
 		faults:    cfg.Faults,
+		met:       cfg.Metrics,
 	}
 	q.levels[0] = q.newLevel(1)
 	if cfg.Batch > 0 {
@@ -94,9 +102,17 @@ func New[V any](cfg Config) *Queue[V] {
 	case !cfg.Leaky:
 		q.dom = hazard.NewDomain()
 		q.reclaim = func(p hazard.Ptr) { q.free.push(p.(*lnode[V])) }
-		if q.faults != nil {
-			inj := q.faults
-			q.dom.SetScanHook(func() { inj.Stall(fault.HazardScan) })
+		if q.faults != nil || q.met != nil {
+			inj, met := q.faults, q.met
+			q.dom.SetScanHook(func() {
+				if met != nil {
+					// Scans run on arbitrary goroutines with no opCtx in
+					// reach; they are rare (amortized over retirements), so
+					// a fixed shard is fine.
+					met.HazardScans.Inc(0)
+				}
+				inj.Stall(fault.HazardScan)
+			})
 		}
 	default:
 		q.cache = newNodeCache[V]()
@@ -111,7 +127,7 @@ func New[V any](cfg Config) *Queue[V] {
 		if q.dom != nil {
 			c.h = q.dom.Get()
 		}
-		c.al = alloc[V]{q: q, h: c.h, cache: q.cache, shard: uint32(id)}
+		c.al = alloc[V]{q: q, h: c.h, cache: q.cache, met: q.met, shard: uint32(id)}
 		// Pool refills move up to Batch elements; a batch root grab moves up
 		// to Batch+1. A split moves at most TargetLen+1 (half of an
 		// overflowing set). Pre-sizing both means the scratch slices never

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/pq"
 	"repro/internal/quality"
 	"repro/internal/xrand"
@@ -32,6 +33,9 @@ type AccuracyResult struct {
 	Hits int
 	// Failures counts extractions that returned ok=false and were retried.
 	Failures int
+	// Metrics is the queue's instrumentation snapshot taken after the run,
+	// when available (see SnapshotOf); nil otherwise.
+	Metrics *core.MetricsSnapshot `json:",omitempty"`
 }
 
 // HitRate is the fraction of extractions that met the rank threshold —
@@ -96,6 +100,7 @@ func RunAccuracy(mk QueueMaker, threads int, spec AccuracySpec) AccuracyResult {
 		}
 		done++
 	}
+	res.Metrics = SnapshotOf(q)
 	return res
 }
 

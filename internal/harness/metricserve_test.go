@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pq"
+)
+
+func metricsConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Metrics = core.NewMetrics()
+	return cfg
+}
+
+func TestSnapshotOf(t *testing.T) {
+	plain := NewZMSQ(core.DefaultConfig())
+	defer plain.Close()
+	if s := SnapshotOf(plain); s != nil {
+		t.Errorf("SnapshotOf(no metrics) = %+v, want nil", s)
+	}
+
+	z := NewZMSQ(metricsConfig())
+	defer z.Close()
+	z.Insert(1)
+	z.Insert(2)
+	z.ExtractMax()
+	s := SnapshotOf(z)
+	if s == nil {
+		t.Fatal("SnapshotOf(metrics-enabled ZMSQ) = nil")
+	}
+	if s.InsertsTotal() != 2 || s.ExtractsTotal() != 1 {
+		t.Errorf("snapshot totals = %d/%d, want 2/1", s.InsertsTotal(), s.ExtractsTotal())
+	}
+}
+
+func TestRunThroughputAttachesMetrics(t *testing.T) {
+	spec := ThroughputSpec{Threads: 2, TotalOps: 4000, InsertPct: 50, Prefill: 256, Seed: 7}
+	res := RunThroughput(func(int) pq.Queue { return NewZMSQ(metricsConfig()) }, spec)
+	if res.Metrics == nil {
+		t.Fatal("ThroughputResult.Metrics = nil for a metrics-enabled queue")
+	}
+	if res.Metrics.InsertsTotal() == 0 || res.Metrics.ExtractsTotal() == 0 {
+		t.Errorf("metrics totals = %d/%d, want both > 0",
+			res.Metrics.InsertsTotal(), res.Metrics.ExtractsTotal())
+	}
+
+	res = RunThroughput(func(int) pq.Queue { return NewZMSQ(core.DefaultConfig()) }, spec)
+	if res.Metrics != nil {
+		t.Error("ThroughputResult.Metrics non-nil for a plain queue")
+	}
+}
+
+func TestMetricsMuxEndpoints(t *testing.T) {
+	z := NewZMSQ(metricsConfig())
+	defer z.Close()
+	for i := uint64(0); i < 300; i++ {
+		z.Insert(i)
+	}
+	for i := 0; i < 100; i++ {
+		z.ExtractMax()
+	}
+	srv := httptest.NewServer(NewMetricsMux(z.Snapshot))
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body)
+	}
+
+	prom := get("/metrics")
+	for _, want := range []string{"zmsq_extract_pool_hit_total", "zmsq_len", "# TYPE zmsq_rank_error_sample histogram"} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var snap core.MetricsSnapshot
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &snap); err != nil {
+		t.Fatalf("/metrics.json did not decode: %v", err)
+	}
+	if snap.InsertsTotal() != 300 {
+		t.Errorf("/metrics.json inserts = %d, want 300", snap.InsertsTotal())
+	}
+
+	if vars := get("/debug/vars"); !strings.Contains(vars, `"zmsq"`) {
+		t.Error(`/debug/vars missing the "zmsq" expvar`)
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Error("/debug/pprof/ index looks wrong")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/pq"
 	"repro/internal/xrand"
 )
@@ -41,6 +42,10 @@ type ThroughputResult struct {
 	Elapsed   time.Duration
 	Ops       int64 // operations completed (inserts + successful/empty extracts)
 	FailedExt int64 // extractions that returned ok=false
+	// Metrics is the queue's instrumentation snapshot taken after the run,
+	// when the substrate exposes one and Config.Metrics was enabled
+	// (see SnapshotOf); nil otherwise.
+	Metrics *core.MetricsSnapshot `json:",omitempty"`
 }
 
 // OpsPerSec is the headline throughput number.
@@ -108,6 +113,7 @@ func RunThroughput(mk QueueMaker, spec ThroughputSpec) ThroughputResult {
 		Elapsed:   elapsed,
 		Ops:       ops.Load(),
 		FailedExt: failed.Load(),
+		Metrics:   SnapshotOf(q),
 	}
 }
 

@@ -492,6 +492,85 @@ func TestAwaitChangeClose(t *testing.T) {
 	}
 }
 
+func TestAwaitChangeHeartbeatRearm(t *testing.T) {
+	// With no deadline on the context, AwaitChange sleeps in heartbeat
+	// slices (100ms). A signal arriving after several slices exercises the
+	// re-arm path: WaitTimeout expires with the word unchanged, the loop
+	// re-checks the predicate and goes back to sleep, repeatedly, until the
+	// push lands.
+	if testing.Short() {
+		t.Skip("multi-heartbeat sleep")
+	}
+	r := New(4)
+	seen := r.Pushes()
+	errc := make(chan error, 1)
+	go func() { errc <- r.AwaitChange(context.Background(), seen) }()
+	time.Sleep(250 * time.Millisecond) // > 2 heartbeat slices
+	r.Signal()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("AwaitChange = %v after a late Signal", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("heartbeat re-arm lost the late Signal")
+	}
+}
+
+func TestAwaitChangeDeadlineBeyondHeartbeat(t *testing.T) {
+	// A deadline longer than the heartbeat must still be honored: the
+	// sleeper wakes on heartbeat expiries with no change, re-arms, and
+	// finally returns DeadlineExceeded — not early, not never.
+	if testing.Short() {
+		t.Skip("multi-heartbeat sleep")
+	}
+	r := New(4)
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := r.AwaitChange(ctx, r.Pushes()); err != context.DeadlineExceeded {
+		t.Fatalf("AwaitChange = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Fatalf("returned after %v, before the 250ms deadline", elapsed)
+	}
+}
+
+func TestAwaitChangeWaiterBookkeeping(t *testing.T) {
+	// The producer hot path pays for ctx waiters only while one exists; a
+	// leaked registration would tax every future Signal. Verify the counter
+	// returns to zero after each way out of AwaitChange.
+	r := New(4)
+
+	r.Signal() // fast path: counter already differs
+	if err := r.AwaitChange(context.Background(), 0); err != nil {
+		t.Fatalf("fast path AwaitChange = %v", err)
+	}
+	if n := r.ctxWaiters.Load(); n != 0 {
+		t.Fatalf("ctxWaiters = %d after fast path, want 0", n)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := r.AwaitChange(ctx, r.Pushes()); err != context.Canceled {
+		t.Fatalf("AwaitChange = %v on a cancelled context", err)
+	}
+	if n := r.ctxWaiters.Load(); n != 0 {
+		t.Fatalf("ctxWaiters = %d after cancellation, want 0", n)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- r.AwaitChange(context.Background(), r.Pushes()) }()
+	time.Sleep(10 * time.Millisecond)
+	r.Signal()
+	if err := <-errc; err != nil {
+		t.Fatalf("AwaitChange = %v after Signal", err)
+	}
+	if n := r.ctxWaiters.Load(); n != 0 {
+		t.Fatalf("ctxWaiters = %d after a signalled wait, want 0", n)
+	}
+}
+
 func TestAwaitChangeManyWaitersOneSignal(t *testing.T) {
 	r := New(4)
 	const waiters = 16

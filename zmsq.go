@@ -51,6 +51,17 @@ type Config = core.Config
 // TreeStats is a diagnostic snapshot of the queue's internal tree shape.
 type TreeStats = core.TreeStats
 
+// Metrics is the hot-path instrumentation hook. Attach one via
+// Config.Metrics (see NewMetrics) and read it through Queue.Snapshot; with
+// the field nil — the default — instrumentation costs one predictable
+// branch per site and the hot paths stay allocation-free either way.
+type Metrics = core.Metrics
+
+// MetricsSnapshot is a merged, point-in-time view of a queue's Metrics
+// plus instantaneous gauges, produced by Queue.Snapshot. It serializes to
+// JSON and renders Prometheus text via WritePrometheus.
+type MetricsSnapshot = core.MetricsSnapshot
+
 // Element is one key/value pair returned by Queue.Drain and
 // Queue.CloseAndDrain.
 type Element[V any] = core.Element[V]
@@ -83,6 +94,15 @@ const (
 
 // New returns an empty queue configured by cfg.
 func New[V any](cfg Config) *Queue[V] { return core.New[V](cfg) }
+
+// NewMetrics returns a Metrics ready to assign to Config.Metrics:
+//
+//	cfg := repro.DefaultConfig()
+//	cfg.Metrics = repro.NewMetrics()
+//	q := repro.New[string](cfg)
+//	...
+//	snap := q.Snapshot() // counters, histograms, gauges
+func NewMetrics() *Metrics { return core.NewMetrics() }
 
 // DefaultConfig returns the paper's recommended configuration: batch = 48,
 // targetLen = 72, TATAS trylocks, hazard-pointer memory safety, blocking
