@@ -1,7 +1,7 @@
 // Command accuracy regenerates Table 1 of the paper: the fraction of
 // ExtractMax calls returning a key within the top-k of the prefilled queue,
 // for ZMSQ across batch sizes, SprayList across thread counts, and the FIFO
-// floor.
+// floor. The cell list is harness.AccuracyCells, shared with cmd/runall.
 //
 //	accuracy -size 1k    # Table 1a: 1K-element queue, extract 10% and 50%
 //	accuracy -size 64k   # Table 1b: 64K-element queue, extract 0.1%, 1%, 10%
@@ -12,10 +12,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
 	"repro/internal/harness"
-	"repro/internal/pq"
-	"repro/internal/spray"
 )
 
 func main() {
@@ -53,12 +50,12 @@ func main() {
 	}
 	fmt.Println()
 
-	row := func(name string, mk harness.QueueMaker, threads int) {
-		fmt.Printf("%-18s", name)
+	for _, c := range harness.AccuracyCells() {
+		fmt.Printf("%-18s", c.Name)
 		for _, e := range extracts {
 			total := 0.0
 			for trial := 0; trial < *trials; trial++ {
-				res := harness.RunAccuracy(mk, threads,
+				res := harness.RunAccuracy(c.Mk, c.Threads,
 					harness.AccuracySpec{QueueSize: queueSize, Extracts: e, Seed: *seed + uint64(trial)*977})
 				total += res.HitRate()
 			}
@@ -66,45 +63,17 @@ func main() {
 		}
 		fmt.Println()
 	}
-
-	// ZMSQ: targetLen=64, batch varies (accuracy depends only on batch for
-	// batch <= targetLen, §4.3).
-	for _, batch := range []int{2, 4, 8, 16, 32, 64} {
-		batch := batch
-		mk := func(int) pq.Queue {
-			return harness.NewZMSQ(core.Config{Batch: batch, TargetLen: 64})
-		}
-		row(fmt.Sprintf("zmsq(batch=%d)", batch), mk, 1)
-	}
-	// SprayList: accuracy depends on the configured thread count.
-	for _, p := range []int{1, 8, 32, 64} {
-		p := p
-		mk := func(int) pq.Queue { return spray.New(p) }
-		row(fmt.Sprintf("spray(p=%d)", p), mk, p)
-	}
-	// FIFO floor.
-	row("fifo", func(int) pq.Queue { return pq.NewFIFO() }, 1)
 }
 
-// runRankMode prints the full rank-error distribution per queue: mean,
+// runRankMode prints the full rank-error distribution per cell: mean,
 // median, p99 and worst observed rank of extracted keys, plus the rate at
 // which the true maximum was returned. ZMSQ's §3.7 guarantee shows up as
 // maxRate >= 1/(batch+1).
 func runRankMode(queueSize, extracts int, seed uint64) {
 	fmt.Printf("# rank-error distributions: queue=%d extracts=%d\n", queueSize, extracts)
 	spec := harness.AccuracySpec{QueueSize: queueSize, Extracts: extracts, Seed: seed}
-	row := func(name string, mk harness.QueueMaker, threads int) {
-		sum, _ := harness.RunRankAccuracy(mk, threads, spec)
-		fmt.Printf("%-18s %v\n", name, sum)
+	for _, c := range harness.AccuracyCells() {
+		sum, _ := harness.RunRankAccuracy(c.Mk, c.Threads, spec)
+		fmt.Printf("%-18s %v\n", c.Name, sum)
 	}
-	for _, batch := range []int{2, 8, 32, 64} {
-		batch := batch
-		row(fmt.Sprintf("zmsq(batch=%d)", batch),
-			func(int) pq.Queue { return harness.NewZMSQ(core.Config{Batch: batch, TargetLen: 64}) }, 1)
-	}
-	for _, p := range []int{1, 8, 32, 64} {
-		p := p
-		row(fmt.Sprintf("spray(p=%d)", p), func(int) pq.Queue { return spray.New(p) }, p)
-	}
-	row("fifo", func(int) pq.Queue { return pq.NewFIFO() }, 1)
 }

@@ -7,6 +7,8 @@
 //
 //	chaos -seed 1 -rounds 4 -producers 4 -consumers 4 -ops 2000
 //	chaos -seeds 16            # sweep 16 seeds
+//	chaos -sharded 3           # also chaos the sharded front-end (3 shards,
+//	                           # composed S·(b+1) window, per-shard never-fails)
 //	chaos -baselines           # also run conservation checks on baselines
 package main
 
@@ -36,6 +38,7 @@ func main() {
 		handoff   = flag.Int("handoff", 25, "pool-handoff stall percentage")
 		hazard    = flag.Int("hazard", 50, "hazard-scan stall percentage")
 		grow      = flag.Int("grow", 75, "tree-growth stall percentage")
+		shardedN  = flag.Int("sharded", 0, "also chaos a sharded front-end with this many shards (0 = off)")
 		baselines = flag.Bool("baselines", false, "also run conservation chaos over the baselines")
 	)
 	flag.Parse()
@@ -77,6 +80,18 @@ func main() {
 		if err != nil {
 			failed = true
 			reportFailure(res, err)
+		}
+	}
+
+	if *shardedN > 0 {
+		for s := 0; s < *seeds; s++ {
+			plan.Seed = *seed + uint64(s)
+			res, err := harness.RunChaosSharded(plan, *shardedN)
+			printResult(res, plan.Seed)
+			if err != nil {
+				failed = true
+				reportFailure(res, err)
+			}
 		}
 	}
 

@@ -18,9 +18,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/harness"
 	"repro/internal/locks"
-	"repro/internal/mound"
 	"repro/internal/pq"
-	"repro/internal/spray"
 	"repro/internal/sssp"
 )
 
@@ -103,26 +101,7 @@ func threadSweep() []int {
 }
 
 func runTable1(rec *harness.Recorder, sc scale, seed uint64) {
-	type cell struct {
-		name    string
-		mk      harness.QueueMaker
-		threads int
-	}
-	var cells []cell
-	for _, batch := range []int{2, 4, 8, 16, 32, 64} {
-		batch := batch
-		cells = append(cells, cell{
-			fmt.Sprintf("zmsq(batch=%d)", batch),
-			func(int) pq.Queue { return harness.NewZMSQ(core.Config{Batch: batch, TargetLen: 64}) },
-			1,
-		})
-	}
-	for _, p := range []int{1, 8, 32, 64} {
-		p := p
-		cells = append(cells, cell{fmt.Sprintf("spray(p=%d)", p),
-			func(int) pq.Queue { return spray.New(p) }, p})
-	}
-	cells = append(cells, cell{"fifo", func(int) pq.Queue { return pq.NewFIFO() }, 1})
+	cells := harness.AccuracyCells()
 
 	specs := []harness.AccuracySpec{
 		{QueueSize: 1024, Extracts: 102},
@@ -136,13 +115,13 @@ func runTable1(rec *harness.Recorder, sc scale, seed uint64) {
 			hits, failures := 0.0, 0.0
 			for trial := 0; trial < sc.trials; trial++ {
 				spec.Seed = seed + uint64(trial)*977
-				res := harness.RunAccuracy(c.mk, c.threads, spec)
+				res := harness.RunAccuracy(c.Mk, c.Threads, spec)
 				hits += res.HitRate()
 				failures += float64(res.Failures)
 			}
 			avg := harness.AccuracyResult{
 				Spec:  spec,
-				Queue: c.name,
+				Queue: c.Name,
 				Hits:  int(hits / float64(sc.trials) * float64(spec.Extracts)),
 			}
 			rec.AddAccuracy("table1", avg)
@@ -184,11 +163,11 @@ func runThroughputFigs(rec *harness.Recorder, sc scale, threads []int, seed uint
 			}},
 			{"static32", zmsqCfg(core.Config{Batch: 32, TargetLen: 32})},
 			{"static64", zmsqCfg(core.Config{Batch: 64, TargetLen: 64})},
-			{"mound", func(int) pq.Queue { return mound.New() }},
+			{"mound", harness.Makers()["mound"]},
 		}},
-		{"fig5a", 100, false, fig5Cells(zmsqCfg)},
-		{"fig5b", 66, false, fig5Cells(zmsqCfg)},
-		{"fig5c", 50, false, fig5Cells(zmsqCfg)},
+		{"fig5a", 100, false, fig5Cells()},
+		{"fig5b", 66, false, fig5Cells()},
+		{"fig5c", 50, false, fig5Cells()},
 	}
 	for _, fig := range figs {
 		for _, t := range threads {
@@ -209,19 +188,13 @@ func runThroughputFigs(rec *harness.Recorder, sc scale, threads []int, seed uint
 	}
 }
 
-func fig5Cells(zmsqCfg func(core.Config) func(int) pq.Queue) []tcell {
-	base := core.DefaultConfig()
-	arr := base
-	arr.ArraySet = true
-	leak := base
-	leak.Leaky = true
-	return []tcell{
-		{"zmsq", zmsqCfg(base)},
-		{"zmsq(array)", zmsqCfg(arr)},
-		{"zmsq(leak)", zmsqCfg(leak)},
-		{"mound", func(int) pq.Queue { return mound.New() }},
-		{"spraylist", func(p int) pq.Queue { return spray.New(p) }},
+func fig5Cells() []tcell {
+	cells := harness.Fig5Cells(nil)
+	out := make([]tcell, len(cells))
+	for i, c := range cells {
+		out[i] = tcell{c.Name, c.Mk}
 	}
+	return out
 }
 
 func runFig4(rec *harness.Recorder, sc scale, seed uint64) {

@@ -1,0 +1,157 @@
+// Command shardgate measures what the sharded front-end buys over a single
+// ZMSQ: it runs the BenchmarkThroughput workload (50/50 mix, uniform keys,
+// prefilled) against one default-config ZMSQ and against the sharded
+// front-end, interleaved over several rounds, and records the speedup in a
+// metricsgate-style JSON report.
+//
+// Best-of comparison for the same reason as cmd/metricsgate: noise only
+// slows rounds down, so the per-mode maximum is the least noisy estimate,
+// and interleaving keeps drift from landing on one mode.
+//
+// The report records whether the speedup met the target (default 1.3×) but
+// the exit code does not depend on it unless -gate is set: absolute
+// speedups are machine-dependent (a 2-core CI runner has little parallelism
+// for sharding to harvest), so CI archives the trajectory without gating on
+// it yet.
+//
+//	go run ./cmd/shardgate -out results/BENCH_sharded.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/pq"
+	"repro/internal/sharded"
+)
+
+type roundResult struct {
+	Round         int     `json:"round"`
+	SingleFirst   bool    `json:"single_first"`
+	SingleOpsSec  float64 `json:"single_ops_per_sec"`
+	ShardedOpsSec float64 `json:"sharded_ops_per_sec"`
+}
+
+type report struct {
+	Tool        string                 `json:"tool"`
+	Go          string                 `json:"go"`
+	Spec        harness.ThroughputSpec `json:"spec"`
+	Shards      int                    `json:"shards"`
+	Rounds      []roundResult          `json:"rounds"`
+	BestSingle  float64                `json:"best_single_ops_per_sec"`
+	BestSharded float64                `json:"best_sharded_ops_per_sec"`
+	Speedup     float64                `json:"speedup"`
+	Target      float64                `json:"target_speedup"`
+	Met         bool                   `json:"met"`
+	Gated       bool                   `json:"gated"`
+	// ShardedSnapshot is the last sharded round's merged+telemetry view,
+	// for post-hoc balance analysis.
+	ShardedSnapshot *sharded.Snapshot `json:"sharded_snapshot,omitempty"`
+}
+
+func main() {
+	defShards := runtime.GOMAXPROCS(0)
+	if defShards > 8 {
+		defShards = 8
+	}
+	var (
+		rounds  = flag.Int("rounds", 7, "paired measurement rounds")
+		ops     = flag.Int("ops", 400_000, "operations per round per mode")
+		threads = flag.Int("threads", defShards, "worker goroutines")
+		shards  = flag.Int("shards", defShards, "shard count for the sharded mode")
+		mix     = flag.Int("mix", 50, "insert percentage of the mix")
+		target  = flag.Float64("target", 1.3, "recorded speedup target (sharded vs single)")
+		gate    = flag.Bool("gate", false, "exit nonzero when the target is missed")
+		out     = flag.String("out", "results/BENCH_sharded.json", "report path (empty = stdout only)")
+	)
+	flag.Parse()
+
+	spec := harness.ThroughputSpec{
+		Threads:   *threads,
+		TotalOps:  *ops,
+		InsertPct: harness.Mix(*mix),
+		Keys:      harness.Uniform20,
+		Prefill:   *ops,
+	}
+	var lastSharded *harness.Sharded
+	run := func(shardedMode bool, seed uint64) harness.ThroughputResult {
+		s := spec
+		s.Seed = seed
+		return harness.RunThroughput(func(int) pq.Queue {
+			if shardedMode {
+				lastSharded = harness.NewSharded(sharded.Config{
+					Shards: *shards, Queue: core.DefaultConfig(),
+				})
+				return lastSharded
+			}
+			return harness.NewZMSQ(core.DefaultConfig())
+		}, s)
+	}
+
+	rep := report{
+		Tool:   "shardgate",
+		Go:     runtime.Version(),
+		Spec:   spec,
+		Shards: *shards,
+		Target: *target,
+		Gated:  *gate,
+	}
+	// Warm-up round: page in the binary, spin up the scheduler. Discarded.
+	run(false, 0xdead)
+
+	for i := 0; i < *rounds; i++ {
+		seed := uint64(i + 1)
+		singleFirst := i%2 == 0
+		var single, shrd harness.ThroughputResult
+		if singleFirst {
+			single, shrd = run(false, seed), run(true, seed)
+		} else {
+			shrd, single = run(true, seed), run(false, seed)
+		}
+		rr := roundResult{Round: i, SingleFirst: singleFirst,
+			SingleOpsSec: single.OpsPerSec(), ShardedOpsSec: shrd.OpsPerSec()}
+		rep.Rounds = append(rep.Rounds, rr)
+		if rr.SingleOpsSec > rep.BestSingle {
+			rep.BestSingle = rr.SingleOpsSec
+		}
+		if rr.ShardedOpsSec > rep.BestSharded {
+			rep.BestSharded = rr.ShardedOpsSec
+		}
+		fmt.Printf("shardgate: round %d  single=%.2f Mops/s  sharded(%d)=%.2f Mops/s\n",
+			i, rr.SingleOpsSec/1e6, *shards, rr.ShardedOpsSec/1e6)
+	}
+	if lastSharded != nil {
+		snap := lastSharded.ShardSnapshot()
+		rep.ShardedSnapshot = &snap
+	}
+	if rep.BestSingle > 0 {
+		rep.Speedup = rep.BestSharded / rep.BestSingle
+	}
+	rep.Met = rep.Speedup >= *target
+
+	if *out != "" {
+		if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "shardgate:", err)
+			os.Exit(1)
+		}
+		buf, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "shardgate:", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("shardgate: best single=%.2f Mops/s  sharded(%d)=%.2f Mops/s  speedup=%.2fx (target %.2fx, %s)\n",
+		rep.BestSingle/1e6, *shards, rep.BestSharded/1e6, rep.Speedup, *target,
+		map[bool]string{true: "met", false: "missed"}[rep.Met])
+	if *gate && !rep.Met {
+		fmt.Fprintf(os.Stderr, "shardgate: FAIL — speedup %.2fx below target %.2fx\n", rep.Speedup, *target)
+		os.Exit(1)
+	}
+}

@@ -4,11 +4,15 @@
 //	Figure 3 (a,b): batch & targetLen configurations vs the mound
 //	Figure 5 (a,b,c): ZMSQ variants vs SprayList vs mound
 //
-// plus a repo-local experiment beyond the paper:
+// plus two repo-local experiments beyond the paper:
 //
-//	batch: the InsertBatch/ExtractBatch API at several batch-call sizes
-//	       against the per-operation loop (batchsize=1), 50/50 mix on a
-//	       prefilled queue (see EXPERIMENTS.md "Batch API mode")
+//	batch:   the InsertBatch/ExtractBatch API at several batch-call sizes
+//	         against the per-operation loop (batchsize=1), 50/50 mix on a
+//	         prefilled queue (see EXPERIMENTS.md "Batch API mode")
+//	sharded: the internal/sharded front-end across shard counts (-shards),
+//	         50/50 mix on a prefilled queue; shards=1 is the single-queue
+//	         reference. With -metricsout each row carries the merged
+//	         cross-shard metrics snapshot.
 //
 // Each experiment prints one row per (queue, thread-count) cell:
 //
@@ -32,9 +36,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/locks"
-	"repro/internal/mound"
 	"repro/internal/pq"
-	"repro/internal/spray"
+	"repro/internal/sharded"
 )
 
 // Metrics plumbing (-metrics / -metricsout / -metricsaddr): when enabled,
@@ -69,6 +72,23 @@ func mkZMSQ(cfg core.Config) *harness.ZMSQ {
 	return z
 }
 
+// mkSharded is the sharded experiment's constructor: one metrics handle on
+// the template config (each shard derives its own; the adapter's Snapshot
+// is the merged view, which is what -metricsout files and the live
+// endpoints serve).
+func mkSharded(shards int) *harness.Sharded {
+	cfg := sharded.Config{Shards: shards, Queue: core.DefaultConfig()}
+	if metricsOn {
+		cfg.Queue.Metrics = core.NewMetrics()
+	}
+	sq := harness.NewSharded(cfg)
+	if metricsOn {
+		f := sq.Snapshot
+		liveSnap.Store(&f)
+	}
+	return sq
+}
+
 // collect runs one throughput cell and files its metrics snapshot (if any)
 // under the experiment/cell labels for the -metricsout report.
 func collect(experiment, cell string, mk harness.QueueMaker, spec harness.ThroughputSpec) harness.ThroughputResult {
@@ -84,8 +104,9 @@ func collect(experiment, cell string, mk harness.QueueMaker, spec harness.Throug
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "fig5c", "fig2a|fig2b|fig3a|fig3b|fig5a|fig5b|fig5c|batch")
+		experiment  = flag.String("experiment", "fig5c", "fig2a|fig2b|fig3a|fig3b|fig5a|fig5b|fig5c|batch|sharded")
 		threadsCSV  = flag.String("threads", defaultThreads(), "comma-separated thread counts")
+		shardsCSV   = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -experiment sharded")
 		ops         = flag.Int("ops", 1_000_000, "total operations per cell")
 		keybits     = flag.Int("keybits", 20, "key width in bits: 20 or 7 (§4.5.1)")
 		seed        = flag.Uint64("seed", 1, "workload seed")
@@ -128,6 +149,13 @@ func main() {
 		runFig5(*experiment, threads, *ops, keys, *seed)
 	case "batch":
 		runBatch(threads, *ops, keys, *seed)
+	case "sharded":
+		shardCounts, err := parseThreads(*shardsCSV)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bad -shards:", err)
+			os.Exit(2)
+		}
+		runSharded(shardCounts, threads, *ops, keys, *seed)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -231,7 +259,7 @@ func runFig3(which string, threads []int, ops int, seed uint64) {
 		dynamic("dynamic(1:2)", func(t int) int { return t }, func(t int) int { return 2 * t }),
 		dynamic("dynamic(2:1)", func(t int) int { return 2 * t }, func(t int) int { return t }),
 		static(32), static(64), static(96),
-		{"mound", func(int) pq.Queue { return mound.New() }},
+		{"mound", harness.Makers()["mound"]},
 	}
 	for _, t := range threads {
 		for _, cell := range cells {
@@ -266,6 +294,29 @@ func runBatch(threads []int, ops int, keys harness.KeyDist, seed uint64) {
 	}
 }
 
+// runSharded sweeps the internal/sharded front-end across shard counts on
+// the 50/50 prefilled mix. shards=1 pays the front-end's dispatch overhead
+// on a single ZMSQ, so the delta against higher shard counts isolates what
+// sharding itself buys; the composed relaxation window grows as S·(b+1)
+// (see internal/sharded's package doc), which EXPERIMENTS.md weighs against
+// the throughput gain.
+func runSharded(shardCounts, threads []int, ops int, keys harness.KeyDist, seed uint64) {
+	fmt.Printf("# Sharded front-end: 50%% inserts on prefilled queue, %d ops, default per-shard config\n", ops)
+	for _, t := range threads {
+		for _, s := range shardCounts {
+			s := s
+			res := collect("sharded", fmt.Sprintf("shards=%d", s),
+				func(int) pq.Queue { return mkSharded(s) },
+				harness.ThroughputSpec{
+					Threads: t, TotalOps: ops, InsertPct: 50,
+					Keys: keys, Prefill: ops, Seed: seed,
+				})
+			fmt.Printf("shards=%-3d threads=%-3d Mops/s=%.3f failedExtract=%d\n",
+				s, t, res.OpsPerSec()/1e6, res.FailedExt)
+		}
+	}
+}
+
 // runFig5 compares ZMSQ (list, array, leak) against SprayList and mound at
 // the recommended batch=48, targetLen=72 (§4.5.1): 100% / 66% / 50%
 // inserts.
@@ -280,33 +331,17 @@ func runFig5(which string, threads []int, ops int, keys harness.KeyDist, seed ui
 		mix = 50
 	}
 	fmt.Printf("# Figure 5%s: %d%% inserts, %d ops, keys=%v\n", which[4:], int(mix), ops, keys)
-	zmsq := func(mod func(*core.Config)) func(int) pq.Queue {
-		return func(int) pq.Queue {
-			cfg := core.DefaultConfig()
-			if mod != nil {
-				mod(&cfg)
-			}
-			return mkZMSQ(cfg)
-		}
-	}
-	cells := []struct {
-		name string
-		mk   harness.QueueMaker
-	}{
-		{"zmsq", zmsq(nil)},
-		{"zmsq(array)", zmsq(func(c *core.Config) { c.ArraySet = true })},
-		{"zmsq(leak)", zmsq(func(c *core.Config) { c.Leaky = true })},
-		{"mound", func(int) pq.Queue { return mound.New() }},
-		{"spraylist", func(p int) pq.Queue { return spray.New(p) }},
-	}
+	cells := harness.Fig5Cells(func(cfg core.Config) harness.QueueMaker {
+		return func(int) pq.Queue { return mkZMSQ(cfg) }
+	})
 	for _, t := range threads {
 		for _, cell := range cells {
-			res := collect(which, cell.name, cell.mk, harness.ThroughputSpec{
+			res := collect(which, cell.Name, cell.Mk, harness.ThroughputSpec{
 				Threads: t, TotalOps: ops, InsertPct: mix,
 				Keys: keys, Seed: seed,
 			})
 			fmt.Printf("%-14s threads=%-3d Mops/s=%.3f failedExtract=%d\n",
-				cell.name, t, res.OpsPerSec()/1e6, res.FailedExt)
+				cell.Name, t, res.OpsPerSec()/1e6, res.FailedExt)
 		}
 	}
 }

@@ -1,5 +1,6 @@
-// Command zmsqserve runs a metrics-enabled ZMSQ under a continuous
-// synthetic workload and serves the observability endpoints:
+// Command zmsqserve runs a metrics-enabled ZMSQ — or, with -shards N, the
+// sharded front-end over N ZMSQ shards — under a continuous synthetic
+// workload and serves the observability endpoints:
 //
 //	/metrics       Prometheus text exposition (scrape this)
 //	/metrics.json  the full MetricsSnapshot as JSON
@@ -11,10 +12,15 @@
 // into an application first:
 //
 //	go run ./cmd/zmsqserve -addr :8217 -threads 8 -mix 50
+//	go run ./cmd/zmsqserve -shards 4        # sharded; serves the merged view
 //	curl localhost:8217/metrics
 //
-// The workload is the harness's throughput mix (insert percentage, uniform
-// keys) applied forever; SIGINT/SIGTERM drains and exits.
+// The queue is driven entirely through the pq capability interfaces
+// (pq.Queue, pq.Closer, pq.ContextExtractor, harness.MetricsSource), so the
+// single and sharded substrates share every code path below; only the
+// constructor differs. The workload is the harness's throughput mix applied
+// forever; SIGINT/SIGTERM stops the workers, drains the queue through
+// ExtractMaxContext, and exits.
 package main
 
 import (
@@ -30,6 +36,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/pq"
+	"repro/internal/sharded"
 	"repro/internal/xrand"
 )
 
@@ -40,7 +48,8 @@ func main() {
 		mix     = flag.Int("mix", 50, "insert percentage of the workload mix")
 		prefill = flag.Int("prefill", 1<<16, "elements inserted before the workload starts")
 		batch   = flag.Int("batch", core.DefaultBatch, "queue relaxation (Config.Batch)")
-		array   = flag.Bool("array", false, "use array sets instead of lists")
+		shards  = flag.Int("shards", 0, "shard across this many ZMSQ shards (0 = single queue)")
+		array   = flag.Bool("array", false, "use array sets instead of lists (Config.SetMode)")
 		leaky   = flag.Bool("leaky", false, "disable hazard-pointer memory safety")
 		pace    = flag.Duration("pace", 50*time.Microsecond, "sleep between worker operations (0 = flat out)")
 		seed    = flag.Uint64("seed", 1, "workload RNG seed")
@@ -49,15 +58,24 @@ func main() {
 
 	cfg := core.DefaultConfig()
 	cfg.Batch = *batch
-	cfg.ArraySet = *array
+	if *array {
+		cfg.SetMode = core.SetModeArray
+	}
 	cfg.Leaky = *leaky
 	cfg.Seed = *seed
 	cfg.Metrics = core.NewMetrics()
-	q := core.New[struct{}](cfg)
+
+	var q pq.Queue
+	if *shards > 0 {
+		q = harness.NewSharded(sharded.Config{Shards: *shards, Queue: cfg})
+	} else {
+		q = harness.NewZMSQ(cfg)
+	}
+	src := q.(harness.MetricsSource)
 
 	r := xrand.New(*seed ^ 0xfeed)
 	for i := 0; i < *prefill; i++ {
-		q.Insert(r.Uint64()>>16, struct{}{})
+		q.Insert(r.Uint64() >> 16)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -71,9 +89,9 @@ func main() {
 			rng := xrand.New(*seed + uint64(w)*0x9e3779b97f4a7c15)
 			for ctx.Err() == nil {
 				if int(rng.Uint64n(100)) < *mix {
-					q.Insert(rng.Uint64()>>16, struct{}{})
+					q.Insert(rng.Uint64() >> 16)
 				} else {
-					q.TryExtractMax()
+					q.ExtractMax()
 				}
 				if *pace > 0 {
 					time.Sleep(*pace)
@@ -82,7 +100,7 @@ func main() {
 		}(w)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: harness.NewMetricsMux(q.Snapshot)}
+	srv := &http.Server{Addr: *addr, Handler: harness.NewMetricsMux(src.Snapshot)}
 	go func() {
 		<-ctx.Done()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
@@ -90,15 +108,43 @@ func main() {
 		_ = srv.Shutdown(shutCtx)
 	}()
 
-	fmt.Printf("zmsqserve: serving /metrics /metrics.json /debug/vars /debug/pprof on %s (threads=%d mix=%d%% batch=%d)\n",
-		*addr, *threads, *mix, *batch)
+	fmt.Printf("zmsqserve: serving /metrics /metrics.json /debug/vars /debug/pprof on %s (queue=%s threads=%d mix=%d%% batch=%d shards=%d)\n",
+		*addr, pq.NameOf(q, "queue"), *threads, *mix, *batch, *shards)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "zmsqserve:", err)
 		os.Exit(1)
 	}
 	wg.Wait()
-	q.Close()
-	snap := q.Snapshot()
-	fmt.Printf("zmsqserve: done — %d inserts, %d extracts, %d refills, node-cache hit rate %.3f\n",
-		snap.InsertsTotal(), snap.ExtractsTotal(), snap.PoolRefills, snap.NodeCacheHitRate())
+
+	// Graceful shutdown: close, then drain whatever the workload left
+	// queued through the context-aware extraction capability — the same
+	// loop works for both substrates, classifying outcomes with the pq
+	// sentinels rather than concrete queue types.
+	if c, ok := q.(pq.Closer); ok {
+		c.Close()
+	}
+	drained := 0
+	if ce, ok := q.(pq.ContextExtractor); ok {
+		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		for {
+			_, err := ce.ExtractMaxContext(dctx)
+			if err != nil {
+				if !pq.IsClosed(err) && !pq.IsEmpty(err) && dctx.Err() == nil {
+					fmt.Fprintln(os.Stderr, "zmsqserve: drain:", err)
+				}
+				break
+			}
+			drained++
+		}
+		cancel()
+	}
+
+	snap := src.Snapshot()
+	fmt.Printf("zmsqserve: done — %d inserts, %d extracts, %d refills, %d drained at shutdown, node-cache hit rate %.3f\n",
+		snap.InsertsTotal(), snap.ExtractsTotal(), snap.PoolRefills, drained, snap.NodeCacheHitRate())
+	if sq, ok := q.(*harness.Sharded); ok {
+		ss := sq.ShardSnapshot()
+		fmt.Printf("zmsqserve: sharded — %d shards, %d full sweeps, %d steal sweeps, %d steals, imbalance %.3f\n",
+			ss.Shards, ss.FullSweeps, ss.StealSweeps, ss.Steals, ss.Imbalance)
+	}
 }

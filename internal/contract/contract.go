@@ -61,13 +61,37 @@ type Config struct {
 	// least once per Batch+1 consecutive extractions (in strict sections,
 	// modulo Slack).
 	Batch int
+	// Shards is the sharded front-end's shard count S; 0 or 1 means a
+	// single queue. The composed window bound is S·(Batch+1): a strict
+	// single consumer sweeps all shards at least once per S extractions
+	// (internal/sharded's periodic full peek-sweep), and the shard holding
+	// the true max must surface it within its own Batch+1 window, so the
+	// true max appears at least once per S·(Batch+1) consecutive
+	// extractions. With S <= 1 this degenerates to the plain Batch+1
+	// window.
+	//
+	// Shards > 1 also disables the never-fails check: a sharded empty
+	// observation is a sweep over the shards, not an atomic cut, so an
+	// insert landing on an already-swept shard can legitimately make a
+	// nonempty queue report empty. §3.7 never-fails holds per shard only.
+	Shards int
 	// Slack widens the true-max test (rank <= Slack) and the window bound
-	// (Batch+Slack) to absorb recording reorder from concurrent strict
-	// consumers; 0 is exact for a single strict consumer.
+	// to absorb recording reorder from concurrent strict consumers; 0 is
+	// exact for a single strict consumer.
 	Slack int
 	// MaxViolations bounds how many violation messages are retained
 	// verbatim (the count is always exact). Zero selects 16.
 	MaxViolations int
+}
+
+// windowBound is the longest permitted run of consecutive strict
+// extractions that all miss the true max: S·(Batch+1) - 1 plus Slack.
+func (cfg Config) windowBound() int {
+	s := cfg.Shards
+	if s < 1 {
+		s = 1
+	}
+	return s*(cfg.Batch+1) - 1 + cfg.Slack
 }
 
 type eventKind uint8
@@ -201,6 +225,13 @@ func (r *Recorder) DidExtract(key uint64, ok bool) {
 		return
 	}
 	c.failedExtracts.Add(1)
+	if c.cfg.Shards > 1 {
+		// Sharded front-ends observe emptiness by sweeping the shards —
+		// not an atomic cut — so the lower-bound argument below is unsound
+		// for them (see Config.Shards). Count the failure, don't judge it.
+		c.extractDoneAll.Add(1)
+		return
+	}
 	// Soundness. The insert side must not over-count: the attempt observed
 	// emptiness at some instant between WillExtract and now, so only the
 	// inserts completed by WillExtract (the snapshot below) provably
@@ -244,8 +275,8 @@ type Report struct {
 	// ("returned the true max", exactly so when Slack = 0).
 	TopFrac float64
 	// WorstRun is the longest run of consecutive strict extractions whose
-	// rank exceeded Slack; the b+1 contract requires WorstRun <= Batch +
-	// Slack.
+	// rank exceeded Slack; the (possibly sharded) window contract requires
+	// WorstRun <= S·(Batch+1) - 1 + Slack.
 	WorstRun int
 	// Violations holds up to MaxViolations messages; ViolationCount is
 	// exact.
@@ -267,7 +298,7 @@ func (c *Checker) Verify() (Report, error) {
 
 	live := quality.NewTreap(0x5eed)
 	rep := Report{FailedExtracts: int(c.failedExtracts.Load())}
-	bound := c.cfg.Batch + c.cfg.Slack
+	bound := c.cfg.windowBound()
 	var topHits, run int
 	lastPhase := uint32(0)
 	for _, e := range all {
@@ -304,9 +335,9 @@ func (c *Checker) Verify() (Report, error) {
 				}
 				if run == bound+1 {
 					// Report once per offending window, at the point the
-					// b+1 guarantee is first exceeded.
-					c.violate("no true-max extraction in %d consecutive strict extractions (allowed %d: batch %d + slack %d)",
-						run, bound, c.cfg.Batch, c.cfg.Slack)
+					// window guarantee is first exceeded.
+					c.violate("no true-max extraction in %d consecutive strict extractions (allowed %d: batch %d, shards %d, slack %d)",
+						run, bound, c.cfg.Batch, c.cfg.Shards, c.cfg.Slack)
 				}
 			}
 		}

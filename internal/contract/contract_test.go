@@ -292,3 +292,63 @@ func TestConcurrentRecordingMergesBySeq(t *testing.T) {
 		t.Fatalf("report %+v", rep)
 	}
 }
+
+func TestShardedWindowBound(t *testing.T) {
+	// Shards=2, Batch=1: the composed window allows up to S*(b+1)-1 = 3
+	// consecutive non-max extractions; the 4th is a violation.
+	mk := func() *Checker {
+		c := NewChecker(Config{Batch: 1, Shards: 2})
+		r := c.Recorder()
+		for _, k := range []uint64{10, 20, 30, 40, 50, 60} {
+			r.WillInsert(k)
+			r.DidInsert()
+		}
+		return c
+	}
+
+	// Exactly at the bound: three non-max extractions then the max.
+	c := mk()
+	r := c.recorders[0]
+	c.BeginStrict()
+	for _, k := range []uint64{50, 40, 30, 60, 20, 10} { // ranks 1,1,1,0,...
+		r.WillExtract()
+		r.DidExtract(k, true)
+	}
+	c.EndStrict()
+	rep, err := c.Verify()
+	if err != nil {
+		t.Fatalf("run at composed bound rejected: %v\n%v", err, rep.Violations)
+	}
+	if rep.WorstRun != 3 {
+		t.Fatalf("WorstRun = %d, want 3", rep.WorstRun)
+	}
+
+	// One past the bound: four consecutive non-max extractions.
+	c = mk()
+	r = c.recorders[0]
+	c.BeginStrict()
+	for _, k := range []uint64{50, 40, 30, 20, 60, 10} { // ranks 1,1,1,1 → run of 4
+		r.WillExtract()
+		r.DidExtract(k, true)
+	}
+	c.EndStrict()
+	rep, err = c.Verify()
+	if err == nil {
+		t.Fatal("run past the composed S*(b+1) bound passed")
+	}
+	if !strings.Contains(rep.Violations[0], "shards 2") {
+		t.Fatalf("violation does not mention shard count: %q", rep.Violations[0])
+	}
+}
+
+func TestShardsZeroAndOneDegenerate(t *testing.T) {
+	for _, s := range []int{0, 1} {
+		cfg := Config{Batch: 3, Shards: s, Slack: 2}
+		if got, want := cfg.windowBound(), 3+2; got != want {
+			t.Errorf("Shards=%d windowBound = %d, want %d", s, got, want)
+		}
+	}
+	if got, want := (Config{Batch: 3, Shards: 4}).windowBound(), 4*4-1; got != want {
+		t.Errorf("Shards=4 windowBound = %d, want %d", got, want)
+	}
+}

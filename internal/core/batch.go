@@ -119,7 +119,7 @@ func (q *Queue[V]) extractManyFromRoot(ctx *opCtx[V], dst []Element[V], need int
 	} else {
 		root.lock.Lock()
 	}
-	if q.batch > 0 && q.poolNext.Load() > 0 {
+	if q.pool != nil && q.pool.occupancy() > 0 {
 		// Someone refilled between our pool miss and taking the lock.
 		root.lock.Unlock()
 		q.countRaced(ctx)

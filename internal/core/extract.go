@@ -105,37 +105,18 @@ func (q *Queue[V]) countRaced(ctx *opCtx[V]) {
 	}
 }
 
-// extractFromPool claims one pool element with a fetch-and-decrement. A
-// claim owns pool[idx] exclusively until it clears the slot's full flag,
-// which is what licenses the next refiller to overwrite the slot.
+// extractFromPool claims one element through the pool policy and records
+// the extraction metrics (the policy reports the claim's refill-time rank
+// estimate for the sampled RankError histogram).
 func (q *Queue[V]) extractFromPool(ctx *opCtx[V]) (uint64, V, bool) {
-	var zero V
-	if q.poolNext.Load() <= 0 {
+	k, v, rank, ok := q.pool.claim()
+	if !ok {
+		var zero V
 		return 0, zero, false
 	}
-	idx := q.poolNext.Add(-1)
-	if idx < 0 {
-		return 0, zero, false
-	}
-	slot := &q.pool[idx]
-	k, v := slot.key, slot.val
-	slot.val = zero
-	// Chaos hook: stall between reading the slot and releasing it,
-	// simulating a lagging consumer so refillers exercise the
-	// wait-for-lagging-consumers loop.
-	q.faults.Stall(fault.PoolHandoff)
-	slot.full.Store(0) // release the slot to future refillers
 	if m := q.met; m != nil {
 		m.ExtractPoolHit.Inc(ctx.al.shard)
 		if ctx.sctr++; ctx.sctr&(rankSampleEvery-1) == 0 {
-			// Rank at refill time: the refiller took rank 0 and the pool is
-			// claimed from the top down, so pool[idx] of a gen-sized refill
-			// was rank gen-idx. A claim racing the next refill can read a
-			// newer gen; clamp rather than pay for a consistent pair.
-			rank := q.poolGen.Load() - idx
-			if rank < 0 {
-				rank = 0
-			}
 			m.RankError.Observe(ctx.al.shard, uint64(rank))
 		}
 	}
@@ -168,7 +149,7 @@ func (q *Queue[V]) extractFromRoot(ctx *opCtx[V], force bool) (uint64, V, extrac
 	} else {
 		root.lock.Lock()
 	}
-	if q.batch > 0 && q.poolNext.Load() > 0 {
+	if q.pool != nil && q.pool.occupancy() > 0 {
 		// Someone refilled between our pool miss and taking the lock.
 		root.lock.Unlock()
 		q.countRaced(ctx)
@@ -186,30 +167,17 @@ func (q *Queue[V]) extractFromRoot(ctx *opCtx[V], force bool) (uint64, V, extrac
 	e := root.set.removeMax(&ctx.al)
 	cnt--
 
-	if q.batch > 0 && cnt > 0 {
+	if q.pool != nil && cnt > 0 {
 		n := int(cnt)
 		if n > q.batch {
 			n = q.batch
 		}
 		// Wait for lagging consumers: a slot claimed in a previous round
-		// may not have been read yet; its full flag licenses reuse.
-		for i := 0; i < n; i++ {
-			for q.pool[i].full.Load() != 0 {
-				runtime.Gosched()
-			}
-		}
+		// may not have been read yet (prepare), then move the next n
+		// largest root elements into the pool and publish them.
+		q.pool.prepare(n)
 		ctx.scratch = root.set.takeTop(&ctx.al, n, ctx.scratch[:0])
-		for i := 0; i < n; i++ {
-			q.pool[i].key = ctx.scratch[i].key
-			q.pool[i].val = ctx.scratch[i].val
-			ctx.scratch[i] = element[V]{}
-			q.pool[i].full.Store(1)
-		}
-		// Publish after all slots are written; the publishing store
-		// happens-before any claim that observes it. poolGen first, so any
-		// claim that observes the new poolNext sees this refill's size.
-		q.poolGen.Store(int64(n))
-		q.poolNext.Store(int64(n))
+		q.pool.publish(ctx.scratch)
 		cnt -= int64(n)
 		if m := q.met; m != nil {
 			m.PoolRefills.Inc(ctx.al.shard)
@@ -360,10 +328,9 @@ func (q *Queue[V]) ExtractMaxContext(ctx context.Context) (uint64, V, error) {
 func (q *Queue[V]) PeekMax() (uint64, bool) {
 	var best uint64
 	found := false
-	if p := q.poolNext.Load(); p > 0 && q.batch > 0 {
-		idx := p - 1
-		if idx < int64(len(q.pool)) && q.pool[idx].full.Load() == 1 {
-			best = q.pool[idx].key
+	if q.pool != nil {
+		if k, ok := q.pool.peek(); ok {
+			best = k
 			found = true
 		}
 	}

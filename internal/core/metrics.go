@@ -123,6 +123,39 @@ type MetricsSnapshot struct {
 	RankError      metrics.HistogramSnapshot `json:"rank_error"`
 }
 
+// Merge returns the element-wise combination of two snapshots: counters
+// and histograms sum, occupancy/length gauges add, and LeafLevel takes the
+// deeper tree. The sharded front-end folds per-shard snapshots into one
+// queue-level view with it.
+func (s MetricsSnapshot) Merge(o MetricsSnapshot) MetricsSnapshot {
+	s.Enabled = s.Enabled || o.Enabled
+	s.InsertRegular += o.InsertRegular
+	s.InsertForced += o.InsertForced
+	s.InsertRootFallback += o.InsertRootFallback
+	s.InsertRetries += o.InsertRetries
+	s.TryLockFail += o.TryLockFail
+	s.ExtractPoolHit += o.ExtractPoolHit
+	s.ExtractRootElems += o.ExtractRootElems
+	s.ExtractEmpty += o.ExtractEmpty
+	s.ExtractRaced += o.ExtractRaced
+	s.PoolRefills += o.PoolRefills
+	s.SwapDownMoves += o.SwapDownMoves
+	s.HazardScans += o.HazardScans
+	s.NodeCacheHit += o.NodeCacheHit
+	s.NodeCacheMiss += o.NodeCacheMiss
+	s.HelperMoves += o.HelperMoves
+	s.PoolOccupancy += o.PoolOccupancy
+	s.PoolCapacity += o.PoolCapacity
+	s.Len += o.Len
+	if o.LeafLevel > s.LeafLevel {
+		s.LeafLevel = o.LeafLevel
+	}
+	s.PoolRefillSize = s.PoolRefillSize.Merge(o.PoolRefillSize)
+	s.BatchGrabSize = s.BatchGrabSize.Merge(o.BatchGrabSize)
+	s.RankError = s.RankError.Merge(o.RankError)
+	return s
+}
+
 // InsertsTotal is the number of successfully inserted elements.
 func (s MetricsSnapshot) InsertsTotal() uint64 {
 	return s.InsertRegular + s.InsertForced + s.InsertRootFallback
@@ -154,9 +187,7 @@ func (q *Queue[V]) Snapshot() MetricsSnapshot {
 		LeafLevel:    int(q.leafLevel.Load()),
 		HelperMoves:  q.helperMoves.Load(),
 	}
-	if p := q.poolNext.Load(); p > 0 {
-		s.PoolOccupancy = p
-	}
+	s.PoolOccupancy = q.PoolOccupancy()
 	m := q.met
 	if m == nil {
 		return s

@@ -17,21 +17,22 @@ func TestRefillWaitsForLaggingConsumer(t *testing.T) {
 	}
 	// Trigger a refill: the pool now holds `batch` elements.
 	q.TryExtractMax()
-	if q.poolNext.Load() != int64(q.batch) {
-		t.Fatalf("poolNext = %d after refill, want %d", q.poolNext.Load(), q.batch)
+	p := q.pool.(*batchPool[int])
+	if p.next.Load() != int64(q.batch) {
+		t.Fatalf("pool next = %d after refill, want %d", p.next.Load(), q.batch)
 	}
 
 	// Simulate a lagging consumer: claim every pool element the way
 	// extractFromPool does, but leave slot 0's full flag set, as if the
 	// claiming goroutine were preempted between the fetch-sub and the
 	// read.
-	for q.poolNext.Load() > 0 {
-		idx := q.poolNext.Add(-1)
+	for p.next.Load() > 0 {
+		idx := p.next.Add(-1)
 		if idx < 0 {
 			break
 		}
 		if idx != 0 {
-			q.pool[idx].full.Store(0) // consumed normally
+			p.slots[idx].full.Store(0) // consumed normally
 		}
 	}
 
@@ -53,7 +54,7 @@ func TestRefillWaitsForLaggingConsumer(t *testing.T) {
 	}
 
 	// The lagging consumer finishes: reads its value and clears the flag.
-	q.pool[0].full.Store(0)
+	p.slots[0].full.Store(0)
 	select {
 	case k, ok := <-done:
 		if !ok {
@@ -70,7 +71,7 @@ func TestRefillWaitsForLaggingConsumer(t *testing.T) {
 
 // TestPoolPublishOrdering verifies that a claim never observes a slot from
 // the current round before its contents were written: after any refill,
-// every unclaimed slot below poolNext is marked full and carries a key
+// every unclaimed slot below the occupancy mark is full and carries a key
 // consistent with the pool's ascending order.
 func TestPoolPublishOrdering(t *testing.T) {
 	q := New[int](Config{Batch: 8, TargetLen: 8})
@@ -82,14 +83,14 @@ func TestPoolPublishOrdering(t *testing.T) {
 		if err := q.checkPool(); err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
-		for q.poolNext.Load() > 0 {
+		for q.pool.occupancy() > 0 {
 			q.TryExtractMax()
 		}
 	}
 }
 
-// TestStrictModeHasNoPool confirms batch=0 allocates no pool and never
-// touches poolNext.
+// TestStrictModeHasNoPool confirms batch=0 installs no pool policy and
+// reports zero occupancy throughout.
 func TestStrictModeHasNoPool(t *testing.T) {
 	q := New[int](Config{Batch: 0, TargetLen: 8})
 	if q.pool != nil {
@@ -101,7 +102,7 @@ func TestStrictModeHasNoPool(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		q.TryExtractMax()
 	}
-	if q.poolNext.Load() != 0 {
-		t.Fatalf("poolNext = %d in strict mode", q.poolNext.Load())
+	if q.PoolOccupancy() != 0 {
+		t.Fatalf("PoolOccupancy = %d in strict mode", q.PoolOccupancy())
 	}
 }

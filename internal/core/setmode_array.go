@@ -5,5 +5,6 @@ package core
 // defaultArraySet under the zmsq_arrayset tag: DefaultConfig selects the
 // unsorted fixed-capacity array sets, letting CI run the whole suite in
 // array mode. Tests that need a specific set implementation build their
-// Config explicitly and are unaffected.
+// Config explicitly (or set Config.SetMode, which always overrides this
+// default) and are unaffected.
 const defaultArraySet = true

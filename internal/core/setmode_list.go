@@ -5,5 +5,7 @@ package core
 // defaultArraySet selects the set implementation DefaultConfig uses. The
 // default build picks the paper's sorted-list sets; building with
 // -tags zmsq_arrayset flips it so CI exercises the array-set code paths
-// under the full test suite without touching individual tests.
+// under the full test suite without touching individual tests. The tag
+// only chooses this default: Config.SetMode (SetModeList / SetModeArray)
+// overrides it at runtime per queue.
 const defaultArraySet = false

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestResolvedSetMode pins the SetMode/ArraySet aliasing rules: the zero
+// SetMode defers to the legacy bool, explicit modes override it, and the
+// build tag influences nothing but DefaultConfig's ArraySet value.
+func TestResolvedSetMode(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want SetMode
+	}{
+		{Config{}, SetModeList},
+		{Config{ArraySet: true}, SetModeArray},
+		{Config{SetMode: SetModeList}, SetModeList},
+		{Config{SetMode: SetModeArray}, SetModeArray},
+		// Explicit modes win over the legacy bool.
+		{Config{SetMode: SetModeList, ArraySet: true}, SetModeList},
+		{Config{SetMode: SetModeArray, ArraySet: false}, SetModeArray},
+	}
+	for _, c := range cases {
+		if got := c.cfg.ResolvedSetMode(); got != c.want {
+			t.Errorf("ResolvedSetMode(%+v) = %v, want %v", c.cfg, got, c.want)
+		}
+	}
+	// DefaultConfig resolves to whatever the build tag selected.
+	def := DefaultConfig()
+	wantDef := SetModeList
+	if defaultArraySet {
+		wantDef = SetModeArray
+	}
+	if got := def.ResolvedSetMode(); got != wantDef {
+		t.Errorf("DefaultConfig().ResolvedSetMode() = %v, want %v", got, wantDef)
+	}
+}
+
+func TestSetModeValidate(t *testing.T) {
+	bad := Config{SetMode: SetMode(99)}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "SetMode") {
+		t.Fatalf("Validate(SetMode=99) = %v, want SetMode error", err)
+	}
+}
+
+// TestSetModeSelectsImplementation runs a small workload in each explicit
+// mode and checks the expected set implementation was built.
+func TestSetModeSelectsImplementation(t *testing.T) {
+	for _, mode := range []SetMode{SetModeList, SetModeArray} {
+		q := New[int](Config{Batch: 4, TargetLen: 8, SetMode: mode})
+		for i := 0; i < 200; i++ {
+			q.Insert(uint64(i), i)
+		}
+		_, isArray := q.root().set.(*arraySet[int])
+		if wantArray := mode == SetModeArray; isArray != wantArray {
+			t.Errorf("SetMode %v built arraySet=%v", mode, isArray)
+		}
+		for i := 0; i < 200; i++ {
+			if _, _, ok := q.TryExtractMax(); !ok {
+				t.Fatalf("SetMode %v: extraction %d failed", mode, i)
+			}
+		}
+		if err := q.CheckInvariants(); err != nil {
+			t.Fatalf("SetMode %v: %v", mode, err)
+		}
+	}
+}
+
+// TestSharedAllocDomain builds several queues over one domain, churns them,
+// and verifies (a) cross-queue recycling happens through the shared
+// freelist and (b) mode-mismatched sharing is rejected.
+func TestSharedAllocDomain(t *testing.T) {
+	cfg := Config{Batch: 4, TargetLen: 8}
+	ad := NewAllocDomain[int](cfg)
+	qs := []*Queue[int]{
+		NewWithDomain[int](cfg, ad),
+		NewWithDomain[int](cfg, ad),
+		NewWithDomain[int](cfg, ad),
+	}
+	for round := 0; round < 10; round++ {
+		for _, q := range qs {
+			for i := 0; i < 200; i++ {
+				q.Insert(uint64(i), i)
+			}
+			for i := 0; i < 200; i++ {
+				q.TryExtractMax()
+			}
+		}
+	}
+	for _, q := range qs {
+		if q.ad != ad {
+			t.Fatal("queue did not adopt the shared domain")
+		}
+		if err := q.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pooled := 0
+	for i := range ad.free.shards {
+		ad.free.shards[i].mu.Lock()
+		pooled += len(ad.free.shards[i].nodes)
+		ad.free.shards[i].mu.Unlock()
+	}
+	if pooled == 0 {
+		t.Fatal("no lnodes reached the shared freelist after churn")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWithDomain accepted a mode-mismatched domain")
+		}
+	}()
+	NewWithDomain[int](Config{Batch: 4, TargetLen: 8, SetMode: SetModeArray}, ad)
+}

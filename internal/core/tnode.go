@@ -49,27 +49,28 @@ func swapContents[V any](a, b *tnode[V]) {
 	b.count.Store(ac)
 }
 
-// alloc is the set-node allocator threaded through set operations — the
-// single seam both recycling strategies sit behind. In memory-safe mode
-// (h != nil) it pops recycled lnodes from the queue's freelist and retires
-// freed ones through the hazard-pointer domain, so reuse never depends on
-// the garbage collector. In leaky mode (the paper's "ZMSQ (leak)"
-// configuration) it recycles through the sharded node cache instead: every
-// lnode is only ever read or written under its owning TNode's lock (the
-// optimistic paths read TNode atomics, never list nodes), so immediate
-// reuse is safe, and any stale pointer held by a quiescent-only diagnostic
-// keeps its object alive through the GC as before.
+// alloc is the per-operation view of an AllocDomain: the set-node allocator
+// threaded through set operations — the single seam both recycling
+// strategies sit behind. In memory-safe mode (h != nil) it pops recycled
+// lnodes from the domain's freelist and retires freed ones through the
+// hazard-pointer domain, so reuse never depends on the garbage collector.
+// In leaky mode (the paper's "ZMSQ (leak)" configuration) it recycles
+// through the domain's sharded node cache instead: every lnode is only ever
+// read or written under its owning TNode's lock (the optimistic paths read
+// TNode atomics, never list nodes), so immediate reuse is safe, and any
+// stale pointer held by a quiescent-only diagnostic keeps its object alive
+// through the GC as before. Because it addresses the domain (not the
+// queue), queues sharing an AllocDomain recycle from a common pool.
 type alloc[V any] struct {
-	q     *Queue[V]
-	h     *hazard.Handle // nil in leaky mode
-	cache *nodeCache[V]  // nil unless leaky list mode
+	ad    *AllocDomain[V]
+	h     *hazard.Handle // nil in leaky/array mode
 	met   *Metrics       // nil unless Config.Metrics was set
 	shard uint32         // node-cache shard hash for this context
 }
 
 func (a *alloc[V]) get() *lnode[V] {
 	if a.h != nil {
-		if n := a.q.free.pop(); n != nil {
+		if n := a.ad.free.pop(); n != nil {
 			if a.met != nil {
 				a.met.NodeCacheHit.Inc(a.shard)
 			}
@@ -80,8 +81,8 @@ func (a *alloc[V]) get() *lnode[V] {
 		}
 		return new(lnode[V])
 	}
-	if a.cache != nil {
-		n, hit := a.cache.get(a.shard)
+	if a.ad != nil && a.ad.cache != nil {
+		n, hit := a.ad.cache.get(a.shard)
 		if a.met != nil {
 			if hit {
 				a.met.NodeCacheHit.Inc(a.shard)
@@ -101,11 +102,11 @@ func (a *alloc[V]) put(n *lnode[V]) {
 	n.e = element[V]{}
 	n.next = nil
 	if a.h != nil {
-		a.h.Retire(n, a.q.reclaim)
+		a.h.Retire(n, a.ad.reclaim)
 		return
 	}
-	if a.cache != nil {
-		a.cache.put(a.shard, n)
+	if a.ad != nil && a.ad.cache != nil {
+		a.ad.cache.put(a.shard, n)
 	}
 }
 

@@ -14,8 +14,9 @@ import (
 //   - list sets are sorted descending,
 //   - a nonempty node's parent is nonempty with parent.max >= node.max
 //     (the mound invariant, §3.1),
-//   - the pool's unclaimed region [0, poolNext) is marked full and sorted
-//     ascending, and poolNext <= batch.
+//   - the pool policy's structural invariants hold: for the batch pool,
+//     the unclaimed region is marked full, sorted ascending, and within
+//     capacity.
 //
 // Tests call it between operation batches and after stress runs.
 func (q *Queue[V]) CheckInvariants() error {
@@ -77,24 +78,10 @@ func (q *Queue[V]) checkNode(level, slot int, n *tnode[V]) error {
 }
 
 func (q *Queue[V]) checkPool() error {
-	if q.batch == 0 {
+	if q.pool == nil {
 		return nil
 	}
-	p := q.poolNext.Load()
-	if p > int64(q.batch) {
-		return fmt.Errorf("poolNext %d exceeds batch %d", p, q.batch)
-	}
-	var prev uint64
-	for i := int64(0); i < p; i++ {
-		if q.pool[i].full.Load() != 1 {
-			return fmt.Errorf("pool slot %d unclaimed but not full", i)
-		}
-		if i > 0 && q.pool[i].key < prev {
-			return fmt.Errorf("pool not ascending at %d", i)
-		}
-		prev = q.pool[i].key
-	}
-	return nil
+	return q.pool.check()
 }
 
 // TreeStats summarizes the tree's shape for the §3.2 set-stability
@@ -135,7 +122,7 @@ func (q *Queue[V]) Stats() TreeStats {
 			}
 		}
 	}
-	if p := q.poolNext.Load(); p > 0 {
+	if p := q.PoolOccupancy(); p > 0 {
 		st.PoolRemaining = int(p)
 		st.Elements += int(p)
 	}

@@ -5,7 +5,6 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fault"
-	"repro/internal/hazard"
 	"repro/internal/locks"
 	"repro/internal/waitring"
 	"repro/internal/xrand"
@@ -31,24 +30,14 @@ type Queue[V any] struct {
 	leafLevel atomic.Int32
 	growMu    sync.Mutex
 
-	// pool is the shared extraction pool (§3.3). poolNext > 0 means
-	// pool[0..poolNext-1] hold claimable elements; claims decrement it.
-	pool     []poolSlot[V]
-	poolNext atomic.Int64
-	// poolGen is the size of the most recent refill, stored under the root
-	// lock just before poolNext publishes it. A sampled pool claim at index
-	// idx uses it to estimate the element's rank at refill time (gen - idx);
-	// see Metrics.RankError. Telemetry only — never consulted for
-	// correctness.
-	poolGen atomic.Int64
+	// pool is the extraction-pool policy (§3.3, see pool.go). nil iff
+	// Config.Batch == 0, in which case every extraction is strict.
+	pool poolPolicy[V]
 
-	ring    *waitring.Ring  // non-nil iff cfg.Blocking
-	dom     *hazard.Domain  // non-nil iff memory-safe list mode (see New)
-	faults  *fault.Injector // non-nil only under chaos testing
-	met     *Metrics        // non-nil iff cfg.Metrics was set
-	free    freelist[V]
-	cache   *nodeCache[V] // non-nil iff leaky list mode
-	reclaim func(hazard.Ptr)
+	ring   *waitring.Ring  // non-nil iff cfg.Blocking
+	ad     *AllocDomain[V] // set-node reclamation seam (possibly shared)
+	faults *fault.Injector // non-nil only under chaos testing
+	met    *Metrics        // non-nil iff cfg.Metrics was set
 
 	ctxs    sync.Pool
 	seedCtr atomic.Uint64
@@ -58,22 +47,22 @@ type Queue[V any] struct {
 	helperMoves atomic.Int64
 }
 
-// poolSlot is one entry of the extraction pool, padded to its own cache
-// line. full is the per-slot handoff flag: the refiller may only overwrite
-// a slot once the consumer that claimed it has read the contents and
-// cleared the flag ("wait for lagging consumers", Listing 2).
-type poolSlot[V any] struct {
-	full atomic.Uint32
-	key  uint64
-	val  V
-	_    [44]byte
-}
-
 // New returns an empty queue configured by cfg. It panics with a
 // descriptive error if cfg is invalid; callers building configs from
 // external input should call Config.Validate first. See Config and
 // DefaultConfig.
 func New[V any](cfg Config) *Queue[V] {
+	return NewWithDomain[V](cfg, nil)
+}
+
+// NewWithDomain returns an empty queue configured by cfg whose set-node
+// reclamation runs through ad. Passing the same domain to several queues
+// pools their recycled nodes, hazard handles and (leaky mode) node cache —
+// the sharded front-end builds S shards over one domain this way. ad must
+// have been built (NewAllocDomain) from a config with the same set mode
+// and leak setting, or NewWithDomain panics. A nil ad builds a private
+// domain, making NewWithDomain(cfg, nil) identical to New(cfg).
+func NewWithDomain[V any](cfg Config, ad *AllocDomain[V]) *Queue[V] {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -86,36 +75,18 @@ func New[V any](cfg Config) *Queue[V] {
 		faults:    cfg.Faults,
 		met:       cfg.Metrics,
 	}
+	if ad == nil {
+		ad = NewAllocDomain[V](cfg)
+	} else if err := ad.compatible(cfg); err != nil {
+		panic(err)
+	}
+	q.ad = ad
 	q.levels[0] = q.newLevel(1)
 	if cfg.Batch > 0 {
-		q.pool = make([]poolSlot[V], cfg.Batch)
+		q.pool = newBatchPool[V](cfg.Batch, cfg.Faults)
 	}
 	if cfg.Blocking {
 		q.ring = waitring.New(cfg.RingSize)
-	}
-	switch {
-	case cfg.ArraySet:
-		// Array sets have no lnodes, so there is nothing to reclaim: the
-		// paper's hazard pointers (§3.5) exist to gate list-node reuse.
-		// Skipping the domain keeps array-mode descents allocation-free
-		// (atomic.Value hazard publication boxes its operand).
-	case !cfg.Leaky:
-		q.dom = hazard.NewDomain()
-		q.reclaim = func(p hazard.Ptr) { q.free.push(p.(*lnode[V])) }
-		if q.faults != nil || q.met != nil {
-			inj, met := q.faults, q.met
-			q.dom.SetScanHook(func() {
-				if met != nil {
-					// Scans run on arbitrary goroutines with no opCtx in
-					// reach; they are rare (amortized over retirements), so
-					// a fixed shard is fine.
-					met.HazardScans.Inc(0)
-				}
-				inj.Stall(fault.HazardScan)
-			})
-		}
-	default:
-		q.cache = newNodeCache[V]()
 	}
 	if cfg.Helper {
 		q.helperStop = make(chan struct{})
@@ -124,10 +95,10 @@ func New[V any](cfg Config) *Queue[V] {
 		id := q.seedCtr.Add(1)
 		c := &opCtx[V]{}
 		c.rng.Seed(xrand.Mix64(cfg.Seed + id*0x9e3779b97f4a7c15))
-		if q.dom != nil {
-			c.h = q.dom.Get()
+		if q.ad.dom != nil {
+			c.h = q.ad.dom.Get()
 		}
-		c.al = alloc[V]{q: q, h: c.h, cache: q.cache, met: q.met, shard: uint32(id)}
+		c.al = alloc[V]{ad: q.ad, h: c.h, met: q.met, shard: uint32(id)}
 		// Pool refills move up to Batch elements; a batch root grab moves up
 		// to Batch+1. A split moves at most TargetLen+1 (half of an
 		// overflowing set). Pre-sizing both means the scratch slices never
@@ -146,7 +117,7 @@ func (q *Queue[V]) newLevel(n int) []tnode[V] {
 	level := make([]tnode[V], n)
 	for i := range level {
 		level[i].lock = locks.New(q.cfg.Lock)
-		if q.cfg.ArraySet {
+		if q.cfg.arraySet() {
 			level[i].set = newArraySet[V](2*q.cfg.TargetLen + 8)
 		} else {
 			level[i].set = &listSet[V]{}
@@ -200,8 +171,10 @@ func (q *Queue[V]) Len() int {
 			total += nodes[i].count.Load()
 		}
 	}
-	if p := q.poolNext.Load(); p > 0 {
-		total += p
+	if q.pool != nil {
+		if p := q.pool.occupancy(); p > 0 {
+			total += p
+		}
 	}
 	if total < 0 {
 		total = 0
@@ -211,10 +184,24 @@ func (q *Queue[V]) Len() int {
 
 // Empty reports whether Len() == 0. Subject to the same snapshot caveat.
 func (q *Queue[V]) Empty() bool {
-	if q.poolNext.Load() > 0 {
+	if q.pool != nil && q.pool.occupancy() > 0 {
 		return false
 	}
 	return q.root().count.Load() == 0
+}
+
+// PoolOccupancy reports the number of unclaimed extraction-pool entries —
+// 0 when the pool is empty or the queue is strict (Config.Batch == 0). It
+// is a best-effort snapshot under concurrency, exact when quiescent. The
+// sharded front-end uses it for steal/imbalance accounting.
+func (q *Queue[V]) PoolOccupancy() int64 {
+	if q.pool == nil {
+		return 0
+	}
+	if p := q.pool.occupancy(); p > 0 {
+		return p
+	}
+	return 0
 }
 
 // Close releases consumers blocked in ExtractMax (blocking mode). Blocked
@@ -243,7 +230,7 @@ func (q *Queue[V]) Closed() bool { return q.closed.Load() }
 // Pool slots are snapshotted through the same full-flag handoff protocol
 // the consumer path uses: a slot's contents are stable from the refiller's
 // full.Store(1) (release) until the claiming consumer's full.Store(0), so
-// ForEach copies the contents between two acquire loads of the flag and
+// the walk copies the contents between two acquire loads of the flag and
 // discards the copy if either load sees the slot released. Remaining
 // best-effort scope: if a full claim-and-refill cycle completes entirely
 // between the two loads (flag goes 1→0→1), the copy can blend the two
@@ -252,23 +239,9 @@ func (q *Queue[V]) Closed() bool { return q.closed.Load() }
 // rather than adding per-slot sequence counters to the extraction hot
 // path.
 func (q *Queue[V]) ForEach(f func(key uint64, val V) bool) {
-	if p := q.poolNext.Load(); p > 0 {
-		for i := int64(0); i < p && i < int64(len(q.pool)); i++ {
-			slot := &q.pool[i]
-			if slot.full.Load() != 1 {
-				continue
-			}
-			k, v := slot.key, slot.val
-			if slot.full.Load() != 1 || q.poolNext.Load() <= i {
-				// Claimed (or claimed-and-refilled) while we copied; the
-				// copy may be torn. Skip it — the element is either being
-				// returned to a consumer or was re-reported by a later
-				// refill.
-				continue
-			}
-			if !f(k, v) {
-				return
-			}
+	if q.pool != nil {
+		if !q.pool.forEach(f) {
+			return
 		}
 	}
 	top := int(q.leafLevel.Load())

@@ -540,10 +540,10 @@ func TestFreelistReuseInSafeMode(t *testing.T) {
 		}
 	}
 	reused := 0
-	for i := range q.free.shards {
-		q.free.shards[i].mu.Lock()
-		reused += len(q.free.shards[i].nodes)
-		q.free.shards[i].mu.Unlock()
+	for i := range q.ad.free.shards {
+		q.ad.free.shards[i].mu.Lock()
+		reused += len(q.ad.free.shards[i].nodes)
+		q.ad.free.shards[i].mu.Unlock()
 	}
 	if reused == 0 {
 		t.Fatal("no lnodes reached the freelist after churn")
@@ -558,10 +558,10 @@ func TestLeakyModeSkipsFreelist(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		q.TryExtractMax()
 	}
-	for i := range q.free.shards {
-		q.free.shards[i].mu.Lock()
-		n := len(q.free.shards[i].nodes)
-		q.free.shards[i].mu.Unlock()
+	for i := range q.ad.free.shards {
+		q.ad.free.shards[i].mu.Lock()
+		n := len(q.ad.free.shards[i].nodes)
+		q.ad.free.shards[i].mu.Unlock()
 		if n != 0 {
 			t.Fatal("leaky mode populated the freelist")
 		}

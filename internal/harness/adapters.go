@@ -6,14 +6,13 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/klsm"
-	"repro/internal/mound"
-	"repro/internal/multiqueue"
 	"repro/internal/pq"
-	"repro/internal/spray"
 )
 
 // ZMSQ adapts a payload-less core.Queue to the harness's pq.Queue.
@@ -28,16 +27,32 @@ func NewZMSQ(cfg core.Config) *ZMSQ {
 }
 
 // VariantName formats the display name the paper's figures use for a ZMSQ
-// configuration.
+// configuration. Registry makers override it with the maker key (see
+// makers_zmsq.go); this is the label for ad-hoc Config cells.
 func VariantName(cfg core.Config) string {
 	name := "zmsq"
-	if cfg.ArraySet {
+	if cfg.ResolvedSetMode() == core.SetModeArray {
 		name += "(array)"
 	}
 	if cfg.Leaky {
 		name += "(leak)"
 	}
 	return name
+}
+
+// pqErr translates core's extraction sentinels into package pq's, so
+// harness callers classify outcomes with pq.IsEmpty/pq.IsClosed and never
+// need the concrete queue type.
+func pqErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, core.ErrEmpty):
+		return pq.ErrEmpty
+	case errors.Is(err, core.ErrClosed):
+		return pq.ErrClosed
+	}
+	return err
 }
 
 // Insert implements pq.Queue.
@@ -47,6 +62,12 @@ func (z *ZMSQ) Insert(key uint64) { z.Q.Insert(key, struct{}{}) }
 func (z *ZMSQ) ExtractMax() (uint64, bool) {
 	k, _, ok := z.Q.TryExtractMax()
 	return k, ok
+}
+
+// ExtractMaxContext implements pq.ContextExtractor.
+func (z *ZMSQ) ExtractMaxContext(ctx context.Context) (uint64, error) {
+	k, _, err := z.Q.ExtractMaxContext(ctx)
+	return k, pqErr(err)
 }
 
 // Name implements pq.Named.
@@ -79,12 +100,13 @@ func (z *ZMSQ) ExtractBatch(dst []uint64, n int) []uint64 {
 // Compile-time capability registrations: every substrate reaches the
 // runners through pq.Queue plus these optional interfaces.
 var (
-	_ pq.Queue   = (*ZMSQ)(nil)
-	_ pq.Named   = (*ZMSQ)(nil)
-	_ pq.Closer  = (*ZMSQ)(nil)
-	_ pq.Batcher = (*ZMSQ)(nil)
-	_ pq.Queue   = (*KLSMAdapter)(nil)
-	_ pq.Closer  = (*KLSMAdapter)(nil)
+	_ pq.Queue            = (*ZMSQ)(nil)
+	_ pq.Named            = (*ZMSQ)(nil)
+	_ pq.Closer           = (*ZMSQ)(nil)
+	_ pq.Batcher          = (*ZMSQ)(nil)
+	_ pq.ContextExtractor = (*ZMSQ)(nil)
+	_ pq.Queue            = (*KLSMAdapter)(nil)
+	_ pq.Closer           = (*KLSMAdapter)(nil)
 )
 
 // KLSMAdapter exposes a k-LSM through pq.Queue using one handle per
@@ -109,24 +131,11 @@ func (a *KLSMAdapter) Name() string { return "klsm" }
 func (a *KLSMAdapter) Close() { a.h.Release() }
 
 // QueueMaker builds a fresh queue for one experiment run. threads is the
-// worker count the experiment will use — SprayList and MultiQueue tune
-// their relaxation to it, matching the paper's setup.
+// worker count the experiment will use — SprayList, MultiQueue and the
+// sharded front-end tune their relaxation to it, matching the paper's
+// setup.
 type QueueMaker func(threads int) pq.Queue
 
 // PerWorkerMaker optionally builds a distinct pq.Queue view per worker over
 // shared state (used by k-LSM). Runners use it when non-nil.
 type PerWorkerMaker func(threads int) func(worker int) pq.Queue
-
-// Makers returns the named queue constructors used across experiments.
-func Makers() map[string]QueueMaker {
-	return map[string]QueueMaker{
-		"zmsq":        func(int) pq.Queue { return NewZMSQ(core.DefaultConfig()) },
-		"zmsq(array)": func(int) pq.Queue { cfg := core.DefaultConfig(); cfg.ArraySet = true; return NewZMSQ(cfg) },
-		"zmsq(leak)":  func(int) pq.Queue { cfg := core.DefaultConfig(); cfg.Leaky = true; return NewZMSQ(cfg) },
-		"mound":       func(int) pq.Queue { return mound.New() },
-		"spraylist":   func(p int) pq.Queue { return spray.New(p) },
-		"multiqueue":  func(p int) pq.Queue { return multiqueue.New(p, 0) },
-		"globalheap":  func(int) pq.Queue { return pq.NewGlobalHeap(0) },
-		"fifo":        func(int) pq.Queue { return pq.NewFIFO() },
-	}
-}

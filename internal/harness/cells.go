@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pq"
+	"repro/internal/spray"
+)
+
+// This file holds the experiment cell lists shared by cmd/runall,
+// cmd/zmsqbench and cmd/accuracy, which used to each carry their own copy.
+// A Cell is a labeled constructor; the experiments decide workload shape.
+
+// Cell is one experiment cell: a display name (the maker key, for registry
+// queues), the constructor, and — for accuracy tables, where relaxation is
+// a function of the configured parallelism rather than the consumer count —
+// the worker count the cell is defined at (0 lets the experiment choose).
+type Cell struct {
+	Name    string
+	Threads int
+	Mk      QueueMaker
+}
+
+// Fig5Cells returns the Figure 5 contenders: the three ZMSQ variants at the
+// recommended configuration against the mound and SprayList. wrap builds
+// the ZMSQ cells from their Config — pass nil for plain NewZMSQ, or a
+// wrapper that attaches instrumentation (zmsqbench -metrics).
+func Fig5Cells(wrap func(core.Config) QueueMaker) []Cell {
+	if wrap == nil {
+		wrap = func(cfg core.Config) QueueMaker {
+			return func(int) pq.Queue { return NewZMSQ(cfg) }
+		}
+	}
+	base := core.DefaultConfig()
+	arr := base
+	arr.SetMode = core.SetModeArray
+	leak := base
+	leak.Leaky = true
+	m := Makers()
+	return []Cell{
+		{Name: "zmsq", Mk: wrap(base)},
+		{Name: "zmsq(array)", Mk: wrap(arr)},
+		{Name: "zmsq(leak)", Mk: wrap(leak)},
+		{Name: "mound", Mk: m["mound"]},
+		{Name: "spraylist", Mk: m["spraylist"]},
+	}
+}
+
+// AccuracyCells returns the Table 1 rows: ZMSQ across batch sizes (accuracy
+// depends only on batch for batch <= targetLen, §4.3), SprayList across its
+// configured thread counts, and the FIFO floor.
+func AccuracyCells() []Cell {
+	var cells []Cell
+	for _, batch := range []int{2, 4, 8, 16, 32, 64} {
+		batch := batch
+		cells = append(cells, Cell{
+			Name:    fmt.Sprintf("zmsq(batch=%d)", batch),
+			Threads: 1,
+			Mk: func(int) pq.Queue {
+				return NewZMSQ(core.Config{Batch: batch, TargetLen: 64})
+			},
+		})
+	}
+	for _, p := range []int{1, 8, 32, 64} {
+		p := p
+		cells = append(cells, Cell{
+			Name:    fmt.Sprintf("spray(p=%d)", p),
+			Threads: p,
+			Mk:      func(int) pq.Queue { return spray.New(p) },
+		})
+	}
+	cells = append(cells, Cell{Name: "fifo", Threads: 1, Mk: Makers()["fifo"]})
+	return cells
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/pq"
+	"repro/internal/sharded"
 	"repro/internal/xrand"
 )
 
@@ -219,6 +220,143 @@ func RunChaos(plan ChaosPlan) (ChaosResult, error) {
 	}
 	if rep.Remaining != 0 {
 		return res, fmt.Errorf("chaos: %d elements lost (inserted %d, extracted %d)",
+			rep.Remaining, res.Inserted, res.Extracted)
+	}
+	return res, nil
+}
+
+// RunChaosSharded runs the chaos schedule against a sharded front-end of
+// `shards` ZMSQ shards built from plan.Queue, with fault injection shared
+// across shards. The strict-phase window check uses the composed
+// S·(Batch+1) bound (contract.Config.Shards), and the never-fails check is
+// per-shard only — the checker skips it for S > 1 because a cross-shard
+// empty observation is a sweep, not an atomic cut.
+func RunChaosSharded(plan ChaosPlan, shards int) (ChaosResult, error) {
+	plan = plan.withDefaults()
+	if shards < 1 {
+		shards = 1
+	}
+	inj := fault.New(plan.Seed, plan.Faults)
+	cfg := plan.Queue
+	cfg.Seed = plan.Seed
+	cfg.Faults = inj
+	q := sharded.New[struct{}](sharded.Config{Shards: shards, Queue: cfg})
+	defer q.Close()
+
+	checker := contract.NewChecker(contract.Config{
+		Batch:  cfg.Batch,
+		Shards: shards,
+		Slack:  0,
+	})
+	res := ChaosResult{Name: fmt.Sprintf("sharded(%d)", shards), Rounds: plan.Rounds}
+
+	var inserted, extracted atomic.Int64
+	extract := func(r *contract.Recorder) bool {
+		r.WillExtract()
+		k, _, ok := q.TryExtractMax()
+		r.DidExtract(k, ok)
+		if ok {
+			extracted.Add(1)
+		}
+		return ok
+	}
+
+	mixedQuota := plan.Producers * plan.OpsPerRound / (2 * plan.Consumers)
+	if mixedQuota < 1 {
+		mixedQuota = 1
+	}
+	for round := 0; round < plan.Rounds; round++ {
+		var producersDone atomic.Bool
+		var wg sync.WaitGroup
+		for p := 0; p < plan.Producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				rec := checker.Recorder()
+				var rng xrand.Rand
+				rng.Seed(xrand.Mix64(plan.Seed ^ uint64(round)<<32 ^ uint64(p+1)))
+				for i := 0; i < plan.OpsPerRound; i++ {
+					key := plan.Keys.Draw(&rng)
+					rec.WillInsert(key)
+					q.Insert(key, struct{}{})
+					rec.DidInsert()
+					inserted.Add(1)
+				}
+			}(p)
+		}
+		var cwg sync.WaitGroup
+		for c := 0; c < plan.Consumers; c++ {
+			cwg.Add(1)
+			go func() {
+				defer cwg.Done()
+				rec := checker.Recorder()
+				for got := 0; got < mixedQuota; {
+					if extract(rec) {
+						got++
+					} else if producersDone.Load() {
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		producersDone.Store(true)
+		cwg.Wait()
+
+		// Warm-up flush, scaled to the composed window: every shard's pool
+		// may hold mixed-phase elements with stale ranks.
+		warmRec := checker.Recorder()
+		for i := 0; i < shards*(cfg.Batch+1); i++ {
+			if !extract(warmRec) {
+				break
+			}
+		}
+
+		// Strict phase: quiescent producers, one consumer, exact composed
+		// window accounting with faults still firing.
+		if quota := q.Len() / 2; quota > 0 {
+			checker.BeginStrict()
+			rec := checker.Recorder()
+			for i := 0; i < quota; i++ {
+				if !extract(rec) {
+					break
+				}
+			}
+			checker.EndStrict()
+		}
+
+		if !cfg.Helper {
+			if err := q.CheckInvariants(); err != nil {
+				return res, fmt.Errorf("sharded chaos round %d: %w", round, err)
+			}
+		}
+	}
+
+	rec := checker.Recorder()
+	for extract(rec) {
+	}
+	q.Close()
+	if err := q.CheckInvariants(); err != nil {
+		return res, fmt.Errorf("sharded chaos final drain: %w", err)
+	}
+
+	res.Inserted = inserted.Load()
+	res.Extracted = extracted.Load()
+	res.FaultCalls = make(map[string]uint64, fault.NumPoints)
+	res.FaultFired = make(map[string]uint64, fault.NumPoints)
+	for _, p := range fault.Points() {
+		res.FaultCalls[p.String()] = inj.Calls(p)
+		res.FaultFired[p.String()] = inj.Fired(p)
+	}
+
+	rep, err := checker.Verify()
+	res.Report = rep
+	res.FailedExtracts = rep.FailedExtracts
+	if err != nil {
+		return res, err
+	}
+	if rep.Remaining != 0 {
+		return res, fmt.Errorf("sharded chaos: %d elements lost (inserted %d, extracted %d)",
 			rep.Remaining, res.Inserted, res.Extracted)
 	}
 	return res, nil

@@ -132,6 +132,37 @@ func TestChaosDeterministicSchedule(t *testing.T) {
 	}
 }
 
+// TestChaosSharded is the sharded front-end's chaos acceptance gate: the
+// same seeded fault schedule against 3 ZMSQ shards must hold every
+// composed contract — per-round invariants across shards, conservation,
+// and the S·(Batch+1) strict window — with all four fault points firing.
+func TestChaosSharded(t *testing.T) {
+	const shards = 3
+	plan := chaosPlan(0x5A4D)
+	res, err := RunChaosSharded(plan, shards)
+	if err != nil {
+		t.Fatalf("sharded chaos run failed: %v\nviolations: %v", err, res.Report.Violations)
+	}
+	for _, p := range fault.Points() {
+		if res.FaultFired[p.String()] == 0 {
+			t.Errorf("fault point %v never fired (calls=%d)", p, res.FaultCalls[p.String()])
+		}
+	}
+	if res.Inserted == 0 || res.Inserted != res.Extracted {
+		t.Fatalf("conservation: inserted %d, extracted %d", res.Inserted, res.Extracted)
+	}
+	if res.Report.StrictExtracts == 0 {
+		t.Fatal("strict phase recorded no extractions; composed window unexercised")
+	}
+	if bound := shards*(plan.Queue.Batch+1) - 1; res.Report.WorstRun > bound {
+		t.Errorf("WorstRun = %d exceeds composed bound %d: checker should have flagged this",
+			res.Report.WorstRun, bound)
+	}
+	t.Logf("sharded chaos: %d ops, %d strict extracts, worst run %d (bound %d), faults %v",
+		res.Inserted, res.Report.StrictExtracts, res.Report.WorstRun,
+		shards*(plan.Queue.Batch+1)-1, res.FaultFired)
+}
+
 // TestChaosBaselineConservation runs the fault-free chaos workload over
 // the baselines and checks element conservation.
 func TestChaosBaselineConservation(t *testing.T) {

@@ -1,0 +1,19 @@
+package harness
+
+import (
+	"repro/internal/mound"
+	"repro/internal/multiqueue"
+	"repro/internal/pq"
+	"repro/internal/spray"
+)
+
+// Registry entries for the comparison substrates. Each adapter's Name()
+// already equals its maker key, so these register the constructors
+// directly.
+func init() {
+	Register("mound", func(int) pq.Queue { return mound.New() })
+	Register("spraylist", func(p int) pq.Queue { return spray.New(p) })
+	Register("multiqueue", func(p int) pq.Queue { return multiqueue.New(p, 0) })
+	Register("globalheap", func(int) pq.Queue { return pq.NewGlobalHeap(0) })
+	Register("fifo", func(int) pq.Queue { return pq.NewFIFO() })
+}

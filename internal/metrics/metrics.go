@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
+	"sort"
 	"sync/atomic"
 )
 
@@ -210,6 +211,38 @@ func (s HistogramSnapshot) Quantile(q float64) uint64 {
 		seen += b.Count
 	}
 	return s.Buckets[len(s.Buckets)-1].High
+}
+
+// Merge returns the bucket-aligned combination of s and o. Snapshots taken
+// from different Histograms share the same power-of-two bucket boundaries,
+// so merging is exact; the sharded front-end uses it to fold per-shard
+// queue snapshots into one.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	if o.Count == 0 {
+		return s
+	}
+	if s.Count == 0 {
+		return o
+	}
+	byLow := make(map[uint64]Bucket, len(s.Buckets)+len(o.Buckets))
+	for _, b := range s.Buckets {
+		byLow[b.Low] = b
+	}
+	for _, b := range o.Buckets {
+		if have, ok := byLow[b.Low]; ok {
+			have.Count += b.Count
+			byLow[b.Low] = have
+		} else {
+			byLow[b.Low] = b
+		}
+	}
+	out := HistogramSnapshot{Count: s.Count + o.Count, Sum: s.Sum + o.Sum}
+	out.Buckets = make([]Bucket, 0, len(byLow))
+	for _, b := range byLow {
+		out.Buckets = append(out.Buckets, b)
+	}
+	sort.Slice(out.Buckets, func(i, j int) bool { return out.Buckets[i].Low < out.Buckets[j].Low })
+	return out
 }
 
 // PromWriter accumulates Prometheus text-exposition output. Errors are
