@@ -5,10 +5,17 @@
 // the b+1 relaxation window (§3.3). It exits nonzero if any contract is
 // violated, so it can gate CI.
 //
+// On failure it prints, next to the violation, the exact seed that
+// produced the fault schedule and a copy-pasteable command that replays
+// just that run — the schedule is deterministic per seed, so the repro
+// is too.
+//
 //	chaos -seed 1 -rounds 4 -producers 4 -consumers 4 -ops 2000
 //	chaos -seeds 16            # sweep 16 seeds
 //	chaos -sharded 3           # also chaos the sharded front-end (3 shards,
 //	                           # composed S·(b+1) window, per-shard never-fails)
+//	chaos -durable             # attach a WAL; after the drain the durable
+//	                           # state must replay to empty
 //	chaos -baselines           # also run conservation checks on baselines
 package main
 
@@ -17,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -40,6 +48,8 @@ func main() {
 		grow      = flag.Int("grow", 75, "tree-growth stall percentage")
 		shardedN  = flag.Int("sharded", 0, "also chaos a sharded front-end with this many shards (0 = off)")
 		baselines = flag.Bool("baselines", false, "also run conservation chaos over the baselines")
+		durable   = flag.Bool("durable", false, "attach a write-ahead log and verify the durable state replays to empty after the drain")
+		walDir    = flag.String("waldir", "", "durability directory for -durable (default: a fresh temp dir per run)")
 	)
 	flag.Parse()
 
@@ -70,28 +80,65 @@ func main() {
 		os.Exit(2)
 	}
 
+	// repro reconstructs the exact command that replays one run: the fault
+	// schedule, workload, and crash-cut randomization are all functions of
+	// the seed, so the single-seed command reproduces the failure.
+	repro := func(seed uint64, shards int, extra string) string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "go run ./cmd/chaos -seed %d -seeds 1 -rounds %d -producers %d -consumers %d -ops %d -batch %d -target %d -trylock %d -handoff %d -hazard %d -grow %d",
+			seed, *rounds, *producers, *consumers, *ops, *batch, *target, *trylock, *handoff, *hazard, *grow)
+		if shards > 0 {
+			fmt.Fprintf(&b, " -sharded %d", shards)
+		}
+		if *durable {
+			b.WriteString(" -durable")
+			if *walDir != "" {
+				fmt.Fprintf(&b, " -waldir %s", *walDir)
+			}
+		}
+		b.WriteString(extra)
+		return b.String()
+	}
+
 	failed := false
+	runOne := func(seed uint64, shards int) {
+		plan.Seed = seed
+		plan.Durable = *durable
+		if *durable {
+			plan.WALDir = *walDir
+			if plan.WALDir == "" {
+				dir, err := os.MkdirTemp("", "chaos-wal-*")
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "chaos:", err)
+					os.Exit(2)
+				}
+				defer os.RemoveAll(dir)
+				plan.WALDir = dir
+			}
+		}
+		var res harness.ChaosResult
+		var err error
+		if shards > 0 {
+			res, err = harness.RunChaosSharded(plan, shards)
+		} else {
+			res, err = harness.RunChaos(plan)
+		}
+		printResult(res, seed)
+		if err != nil {
+			failed = true
+			reportFailure(res, err, seed, repro(seed, shards, ""))
+		}
+	}
+
 	fmt.Printf("%-12s %-10s %9s %9s %7s %9s %8s %7s\n",
 		"queue", "seed", "inserted", "extracted", "failed", "strict", "maxrank", "run")
 	for s := 0; s < *seeds; s++ {
-		plan.Seed = *seed + uint64(s)
-		res, err := harness.RunChaos(plan)
-		printResult(res, plan.Seed)
-		if err != nil {
-			failed = true
-			reportFailure(res, err)
-		}
+		runOne(*seed+uint64(s), 0)
 	}
 
 	if *shardedN > 0 {
 		for s := 0; s < *seeds; s++ {
-			plan.Seed = *seed + uint64(s)
-			res, err := harness.RunChaosSharded(plan, *shardedN)
-			printResult(res, plan.Seed)
-			if err != nil {
-				failed = true
-				reportFailure(res, err)
-			}
+			runOne(*seed+uint64(s), *shardedN)
 		}
 	}
 
@@ -108,7 +155,7 @@ func main() {
 			printResult(res, plan.Seed)
 			if err != nil {
 				failed = true
-				reportFailure(res, err)
+				reportFailure(res, err, plan.Seed, repro(plan.Seed, 0, " -baselines"))
 			}
 		}
 	}
@@ -135,11 +182,21 @@ func printResult(res harness.ChaosResult, seed uint64) {
 		}
 		fmt.Println()
 	}
+	if res.WAL != nil {
+		perSync := float64(0)
+		if res.WAL.Syncs > 0 {
+			perSync = float64(res.WAL.Ops) / float64(res.WAL.Syncs)
+		}
+		fmt.Printf("#   wal: %d ops in %d records, %d syncs (%.1f ops/sync), %d snapshots, %d bytes\n",
+			res.WAL.Ops, res.WAL.Records, res.WAL.Syncs, perSync, res.WAL.Snapshots, res.WAL.AppendedBytes)
+	}
 }
 
-func reportFailure(res harness.ChaosResult, err error) {
+func reportFailure(res harness.ChaosResult, err error, seed uint64, repro string) {
 	fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", res.Name, err)
 	for _, v := range res.Report.Violations {
 		fmt.Fprintf(os.Stderr, "  violation: %s\n", v)
 	}
+	fmt.Fprintf(os.Stderr, "  fault seed: %d (schedule is deterministic per seed)\n", seed)
+	fmt.Fprintf(os.Stderr, "  reproduce:  %s\n", repro)
 }

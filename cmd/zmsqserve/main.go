@@ -13,7 +13,15 @@
 //
 //	go run ./cmd/zmsqserve -addr :8217 -threads 8 -mix 50
 //	go run ./cmd/zmsqserve -shards 4        # sharded; serves the merged view
+//	go run ./cmd/zmsqserve -wal /var/lib/zmsq  # durable: WAL + recovery
 //	curl localhost:8217/metrics
+//
+// With -wal the queue is durable: on startup, existing state in the
+// directory is recovered (snapshot + log replay) and the workload resumes
+// on top of it; on SIGTERM the queue is closed, drained — every drained
+// element still logged — and the log synced and closed, so the next start
+// recovers an empty (fully drained) state. Kill -9 it instead and the
+// next start replays to the last group commit.
 //
 // The queue is driven entirely through the pq capability interfaces
 // (pq.Queue, pq.Closer, pq.ContextExtractor, harness.MetricsSource), so the
@@ -38,6 +46,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/pq"
 	"repro/internal/sharded"
+	"repro/internal/wal"
 	"repro/internal/xrand"
 )
 
@@ -53,6 +62,8 @@ func main() {
 		leaky   = flag.Bool("leaky", false, "disable hazard-pointer memory safety")
 		pace    = flag.Duration("pace", 50*time.Microsecond, "sleep between worker operations (0 = flat out)")
 		seed    = flag.Uint64("seed", 1, "workload RNG seed")
+		walDir  = flag.String("wal", "", "durability directory: write-ahead log + recovery on start (empty = volatile)")
+		walSnap = flag.Int64("walsnap", 8<<20, "with -wal: compact the log with an online snapshot past this many bytes (0 = never)")
 	)
 	flag.Parse()
 
@@ -64,18 +75,65 @@ func main() {
 	cfg.Leaky = *leaky
 	cfg.Seed = *seed
 	cfg.Metrics = core.NewMetrics()
+	if *walDir != "" {
+		cfg.Durability = &core.DurabilityConfig{
+			WAL: true, Dir: *walDir, GroupCommit: wal.DefaultGroupCommit, SnapshotBytes: *walSnap,
+		}
+	}
 
-	var q pq.Queue
+	// Build the queue: durable directories with existing state are
+	// recovered first, so a restart resumes where the last run's group
+	// commit left off. The no-op fallbacks keep the volatile path free of
+	// durability branches below.
+	var (
+		q        pq.Queue
+		syncWAL  = func() error { return nil }
+		closeWAL = func() error { return nil }
+		walStats = func() (wal.Stats, bool) { return wal.Stats{}, false }
+		st       *wal.State
+		err      error
+	)
 	if *shards > 0 {
-		q = harness.NewSharded(sharded.Config{Shards: *shards, Queue: cfg})
+		scfg := sharded.Config{Shards: *shards, Queue: cfg}
+		var sq *sharded.Queue[struct{}]
+		switch {
+		case *walDir != "" && wal.Exists(*walDir):
+			sq, st, err = sharded.Recover[struct{}](scfg)
+		default:
+			sq, err = sharded.NewDurable[struct{}](scfg)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zmsqserve:", err)
+			os.Exit(1)
+		}
+		q = harness.WrapSharded(sq, "zmsq-sharded")
+		syncWAL, closeWAL, walStats = sq.SyncWAL, sq.CloseWAL, sq.WALStats
 	} else {
-		q = harness.NewZMSQ(cfg)
+		var cq *core.Queue[struct{}]
+		switch {
+		case *walDir != "" && wal.Exists(*walDir):
+			cq, st, err = core.Recover[struct{}](cfg)
+		default:
+			cq, err = core.NewDurable[struct{}](cfg)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zmsqserve:", err)
+			os.Exit(1)
+		}
+		q = harness.WrapZMSQ(cq, harness.VariantName(cfg))
+		syncWAL, closeWAL, walStats = cq.SyncWAL, cq.CloseWAL, cq.WALStats
 	}
 	src := q.(harness.MetricsSource)
 
-	r := xrand.New(*seed ^ 0xfeed)
-	for i := 0; i < *prefill; i++ {
-		q.Insert(r.Uint64() >> 16)
+	if st != nil {
+		fmt.Printf("zmsqserve: recovered %d live keys from %s (snapshot lsn %d + %d log records, %d torn bytes dropped)\n",
+			st.Live(), *walDir, st.SnapshotLSN, st.Records, st.TornBytes)
+	} else {
+		// Fresh state only: a recovered queue already holds its elements.
+		r := xrand.New(*seed ^ 0xfeed)
+		for i := 0; i < *prefill; i++ {
+			q.Insert(r.Uint64() >> 16)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -137,6 +195,25 @@ func main() {
 			drained++
 		}
 		cancel()
+	}
+
+	// Durable shutdown: the drain above logged its extracts; sync them and
+	// close the log so the next start recovers the drained (empty) state.
+	if *walDir != "" {
+		if err := syncWAL(); err != nil {
+			fmt.Fprintln(os.Stderr, "zmsqserve: wal sync:", err)
+		}
+		if ws, ok := walStats(); ok {
+			perSync := float64(0)
+			if ws.Syncs > 0 {
+				perSync = float64(ws.Ops) / float64(ws.Syncs)
+			}
+			fmt.Printf("zmsqserve: wal — %d ops in %d records, %d syncs (%.1f ops/sync), %d snapshots, durable lsn %d\n",
+				ws.Ops, ws.Records, ws.Syncs, perSync, ws.Snapshots, ws.DurableLSN)
+		}
+		if err := closeWAL(); err != nil {
+			fmt.Fprintln(os.Stderr, "zmsqserve: wal close:", err)
+		}
 	}
 
 	snap := src.Snapshot()

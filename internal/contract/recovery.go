@@ -1,0 +1,122 @@
+package contract
+
+import "fmt"
+
+// Recovery verification. After a crash, the recovered queue must conserve
+// the durable multiset: no acknowledged insert may be lost, nothing may be
+// duplicated, and no acknowledged extract may resurrect. The harness
+// classifies every operation it performed by acknowledgement status — an
+// operation is "acked" once a WAL sync covering it returned nil, and
+// "unacked" if the crash hit before its sync completed — and the verifier
+// bounds the recovered count of each key:
+//
+//	acked inserts − acked extracts − unacked extracts
+//	  ≤ recovered ≤
+//	acked inserts + unacked inserts − acked extracts
+//
+// The lower bound: every acked insert is durable, every extract that
+// might have reached the disk (acked or not) may legitimately remove one.
+// The upper bound: at most every insert that was attempted can be
+// durable, and every acked extract is durably on disk — because the WAL
+// orders each element's insert record before its extract record, a
+// durable extract implies its removal replays. A recovered count outside
+// the window means a lost ack, a duplicate, or a resurrected extract.
+
+// RecoverySpec is the per-key operation census of a crashed run. Each map
+// is key → number of operations of that class; nil maps are empty.
+type RecoverySpec struct {
+	// AckedInserts / AckedExtracts were covered by a WAL sync that
+	// returned nil before the crash.
+	AckedInserts, AckedExtracts map[uint64]int
+	// UnackedInserts / UnackedExtracts were issued but their sync never
+	// completed; the crash may have preserved or discarded them.
+	UnackedInserts, UnackedExtracts map[uint64]int
+	// MaxViolations bounds retained violation messages (count stays
+	// exact). Zero selects 16.
+	MaxViolations int
+}
+
+// RecoveryReport summarizes a recovery verification.
+type RecoveryReport struct {
+	// Keys is the number of distinct keys examined.
+	Keys int
+	// Operation totals from the spec, and the recovered multiset size.
+	AckedInserts, UnackedInserts, AckedExtracts, UnackedExtracts, Recovered int
+	// AtRisk is the total play in the bounds — the number of recovered
+	// elements the crash was allowed to decide either way (sum over keys
+	// of upper − lower). 0 means the outcome was fully determined.
+	AtRisk int
+	// Violations holds up to MaxViolations messages; ViolationCount is
+	// exact.
+	Violations     []string
+	ViolationCount int
+}
+
+func (r *RecoveryReport) violate(max int, format string, args ...any) {
+	r.ViolationCount++
+	if len(r.Violations) < max {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// VerifyRecovery checks the recovered key multiset against the operation
+// census. recovered is the rebuilt queue's full content (duplicates
+// meaningful, order not). It returns a non-nil error if any key's
+// recovered count falls outside its conservation window.
+func VerifyRecovery(spec RecoverySpec, recovered []uint64) (RecoveryReport, error) {
+	max := spec.MaxViolations
+	if max == 0 {
+		max = 16
+	}
+
+	counts := make(map[uint64]int, len(spec.AckedInserts)+len(spec.UnackedInserts))
+	for _, k := range recovered {
+		counts[k]++
+	}
+	keys := make(map[uint64]struct{}, len(counts))
+	for k := range counts {
+		keys[k] = struct{}{}
+	}
+	for _, m := range []map[uint64]int{spec.AckedInserts, spec.UnackedInserts, spec.AckedExtracts, spec.UnackedExtracts} {
+		for k := range m {
+			keys[k] = struct{}{}
+		}
+	}
+
+	rep := RecoveryReport{Keys: len(keys), Recovered: len(recovered)}
+	for k := range keys {
+		ai := spec.AckedInserts[k]
+		oi := spec.UnackedInserts[k]
+		ae := spec.AckedExtracts[k]
+		oe := spec.UnackedExtracts[k]
+		rep.AckedInserts += ai
+		rep.UnackedInserts += oi
+		rep.AckedExtracts += ae
+		rep.UnackedExtracts += oe
+
+		if ae+oe > ai+oi {
+			rep.violate(max, "key %d: census inconsistent: %d extracts issued against %d inserts", k, ae+oe, ai+oi)
+			continue
+		}
+		lower := ai - ae - oe
+		if lower < 0 {
+			lower = 0
+		}
+		upper := ai + oi - ae
+		r := counts[k]
+		switch {
+		case r < lower:
+			rep.violate(max, "key %d: recovered %d < %d acked-insert floor (acked in %d, acked ex %d, unacked ex %d) — acked insert lost",
+				k, r, lower, ai, ae, oe)
+		case r > upper:
+			rep.violate(max, "key %d: recovered %d > %d ceiling (acked in %d, unacked in %d, acked ex %d) — duplicate or resurrected extract",
+				k, r, upper, ai, oi, ae)
+		default:
+			rep.AtRisk += upper - lower
+		}
+	}
+	if rep.ViolationCount > 0 {
+		return rep, fmt.Errorf("contract: recovery broke conservation for %d key(s); first: %s", rep.ViolationCount, rep.Violations[0])
+	}
+	return rep, nil
+}

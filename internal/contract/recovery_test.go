@@ -1,0 +1,156 @@
+package contract
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerifyRecovery(t *testing.T) {
+	m := func(pairs ...int) map[uint64]int {
+		out := make(map[uint64]int, len(pairs)/2)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			out[uint64(pairs[i])] = pairs[i+1]
+		}
+		return out
+	}
+	cases := []struct {
+		name      string
+		spec      RecoverySpec
+		recovered []uint64
+		wantErr   string // substring of the error, "" for pass
+	}{
+		{
+			name: "exact conservation",
+			spec: RecoverySpec{
+				AckedInserts:  m(1, 1, 2, 1, 3, 1),
+				AckedExtracts: m(3, 1),
+			},
+			recovered: []uint64{1, 2},
+		},
+		{
+			name:      "empty run empty queue",
+			spec:      RecoverySpec{},
+			recovered: nil,
+		},
+		{
+			name: "acked insert lost",
+			spec: RecoverySpec{
+				AckedInserts: m(7, 1),
+			},
+			recovered: nil,
+			wantErr:   "acked insert lost",
+		},
+		{
+			name: "duplicate recovered",
+			spec: RecoverySpec{
+				AckedInserts: m(7, 1),
+			},
+			recovered: []uint64{7, 7},
+			wantErr:   "duplicate or resurrected",
+		},
+		{
+			name: "acked extract resurrects",
+			spec: RecoverySpec{
+				AckedInserts:  m(7, 1),
+				AckedExtracts: m(7, 1),
+			},
+			recovered: []uint64{7},
+			wantErr:   "duplicate or resurrected",
+		},
+		{
+			name: "unacked insert may appear",
+			spec: RecoverySpec{
+				UnackedInserts: m(9, 1),
+			},
+			recovered: []uint64{9},
+		},
+		{
+			name: "unacked insert may vanish",
+			spec: RecoverySpec{
+				UnackedInserts: m(9, 1),
+			},
+			recovered: nil,
+		},
+		{
+			name: "unacked extract may take effect",
+			spec: RecoverySpec{
+				AckedInserts:    m(5, 1),
+				UnackedExtracts: m(5, 1),
+			},
+			recovered: nil,
+		},
+		{
+			name: "unacked extract may not take effect",
+			spec: RecoverySpec{
+				AckedInserts:    m(5, 1),
+				UnackedExtracts: m(5, 1),
+			},
+			recovered: []uint64{5},
+		},
+		{
+			name: "multiset counts respected",
+			spec: RecoverySpec{
+				AckedInserts:  m(4, 3),
+				AckedExtracts: m(4, 1),
+			},
+			recovered: []uint64{4, 4},
+		},
+		{
+			name: "multiset floor broken",
+			spec: RecoverySpec{
+				AckedInserts:  m(4, 3),
+				AckedExtracts: m(4, 1),
+			},
+			recovered: []uint64{4},
+			wantErr:   "acked insert lost",
+		},
+		{
+			name: "never-inserted key recovered",
+			spec: RecoverySpec{
+				AckedInserts: m(1, 1),
+			},
+			recovered: []uint64{1, 99},
+			wantErr:   "duplicate or resurrected",
+		},
+		{
+			name: "census inconsistent",
+			spec: RecoverySpec{
+				AckedExtracts: m(6, 1),
+			},
+			recovered: nil,
+			wantErr:   "census inconsistent",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := VerifyRecovery(tc.spec, tc.recovered)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("VerifyRecovery = %v, want pass (report %+v)", err, rep)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("VerifyRecovery passed, want error containing %q (report %+v)", tc.wantErr, rep)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("VerifyRecovery = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestVerifyRecoveryAtRisk(t *testing.T) {
+	rep, err := VerifyRecovery(RecoverySpec{
+		AckedInserts:    map[uint64]int{1: 1},
+		UnackedInserts:  map[uint64]int{2: 1},
+		UnackedExtracts: map[uint64]int{1: 1},
+	}, []uint64{1})
+	if err != nil {
+		t.Fatalf("VerifyRecovery: %v", err)
+	}
+	// Key 1: bounds [0,1]; key 2: bounds [0,1] — two elements at risk.
+	if rep.AtRisk != 2 {
+		t.Fatalf("AtRisk = %d, want 2", rep.AtRisk)
+	}
+}

@@ -27,6 +27,11 @@ func (q *Queue[V]) InsertBatch(keys []uint64, vals []V) {
 	if vals != nil && len(vals) != len(keys) {
 		panic("zmsq: InsertBatch called with len(vals) != len(keys)")
 	}
+	if q.wal != nil {
+		// One record for the whole batch, logged before any element
+		// becomes visible — the group-commit amortization lever.
+		q.wal.AppendInsertBatch(keys)
+	}
 	ctx := q.getCtx()
 	for i, k := range keys {
 		e := element[V]{key: k}
@@ -65,6 +70,21 @@ func (q *Queue[V]) ExtractBatch(dst []Element[V], n int) []Element[V] {
 	}
 	ctx := q.getCtx()
 	defer q.putCtx(ctx)
+	start := len(dst)
+	dst = q.extractBatch(ctx, dst, n)
+	if q.wal != nil && len(dst) > start {
+		// Log after the elements are physically removed, as one batch
+		// record covering everything this call took.
+		ctx.wkeys = ctx.wkeys[:0]
+		for _, e := range dst[start:] {
+			ctx.wkeys = append(ctx.wkeys, e.Key)
+		}
+		q.wal.AppendExtractBatch(ctx.wkeys)
+	}
+	return dst
+}
+
+func (q *Queue[V]) extractBatch(ctx *opCtx[V], dst []Element[V], n int) []Element[V] {
 	need := n
 	for attempt := 0; need > 0; attempt++ {
 		if q.batch > 0 {

@@ -157,11 +157,27 @@ type Config struct {
 	Metrics *Metrics
 
 	// Faults, when non-nil, injects deterministic faults at the queue's
-	// four riskiest synchronization surfaces: TNode trylock acquisition,
-	// pool-slot handoff, hazard-pointer reclamation scans, and tree
-	// growth. For chaos testing only — nil (the default) compiles the
-	// hooks down to a single predictable branch per site.
+	// riskiest synchronization surfaces: TNode trylock acquisition,
+	// pool-slot handoff, hazard-pointer reclamation scans, tree growth,
+	// and (with durability on) the WAL crash points. For chaos testing
+	// only — nil (the default) compiles the hooks down to a single
+	// predictable branch per site.
 	Faults *fault.Injector
+
+	// Durability, when non-nil with WAL set, makes the queue own a
+	// write-ahead log: New opens it in Durability.Dir, every mutation is
+	// logged (inserts before visibility, extracts after removal), SyncWAL
+	// is the acknowledgement point, and CloseWAL closes the log after the
+	// final drain. Recovery is core.Recover. nil keeps the queue purely
+	// in-memory with the hot paths at 0 allocs/op.
+	Durability *DurabilityConfig
+
+	// WAL attaches an externally owned durability policy instead of a
+	// queue-owned log: the queue appends through it but CloseWAL only
+	// syncs — whoever built the policy closes it. The sharded front-end
+	// threads one shared *wal.Log through all its shards this way.
+	// Mutually exclusive with Durability.WAL.
+	WAL WALPolicy
 }
 
 // Validate reports a descriptive error for nonsensical configurations
@@ -192,7 +208,7 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("zmsq: Config.SetMode is unknown mode %d; valid modes are default(0), list(1), array(2)", int(c.SetMode))
 	}
-	return nil
+	return c.validateDurability()
 }
 
 // ResolvedSetMode reports the set implementation this config selects once

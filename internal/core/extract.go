@@ -78,6 +78,11 @@ func (q *Queue[V]) tryExtract(ctx *opCtx[V]) (uint64, V, bool) {
 	for attempt := 0; ; attempt++ {
 		if q.batch > 0 {
 			if k, v, ok := q.extractFromPool(ctx); ok {
+				if q.wal != nil {
+					// Log after the physical removal (see WALPolicy); this
+					// funnel covers every single-extract entry point.
+					q.wal.AppendExtract(k)
+				}
 				return k, v, true
 			}
 		}
@@ -87,6 +92,9 @@ func (q *Queue[V]) tryExtract(ctx *opCtx[V]) (uint64, V, bool) {
 		k, v, st := q.extractFromRoot(ctx, force)
 		switch st {
 		case extractGot:
+			if q.wal != nil {
+				q.wal.AppendExtract(k)
+			}
 			return k, v, true
 		case extractEmpty:
 			var zero V

@@ -229,6 +229,9 @@ type opCtx[V any] struct {
 	al      alloc[V]
 	scratch []element[V]
 	split   []element[V]
+	// wkeys is ExtractBatch's key scratch for batch WAL records;
+	// allocated only when the queue has a durability policy.
+	wkeys []uint64
 	// sctr drives the metrics rank-error sampler: one in rankSampleEvery
 	// extractions on this context records a sample (see Metrics.RankError).
 	sctr uint32

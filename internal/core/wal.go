@@ -1,0 +1,233 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// WALPolicy is the durability seam: the queue calls it on every mutation
+// and at sync points, and stays oblivious to how (or whether) the records
+// reach stable storage. *wal.Log is the real implementation; tests can
+// substitute recorders. Like the other construction-time policies
+// (poolPolicy, locks.Kind), the choice is made once in Config — a nil
+// policy compiles every hot-path hook down to a single predictable
+// branch, which is what keeps the durability-off paths at 0 allocs/op.
+//
+// Ordering contract (what makes replay sound): the queue calls
+// AppendInsert/AppendInsertBatch BEFORE an element becomes visible and
+// AppendExtract/AppendExtractBatch AFTER it is physically removed, so in
+// the log every element's insert record precedes any extract record for
+// it, and every durable prefix replays to a well-formed multiset.
+type WALPolicy interface {
+	// AppendInsert logs one inserted key; AppendInsertBatch logs a batch
+	// as one record. Appends do not return errors — durability is only
+	// ever promised by Sync, and the implementation must latch failures
+	// so a later Sync cannot falsely acknowledge.
+	AppendInsert(key uint64)
+	AppendInsertBatch(keys []uint64)
+	// AppendExtract logs one extracted key; AppendExtractBatch a batch.
+	AppendExtract(key uint64)
+	AppendExtractBatch(keys []uint64)
+	// Sync makes every append that returned before the call durable.
+	Sync() error
+	// Close performs a final Sync and releases the policy's resources.
+	Close() error
+}
+
+// DurabilityConfig asks the queue to own its durability subsystem: New
+// opens a write-ahead log in Dir and the queue logs every mutation
+// through it. See Config.Durability and, for the protocol itself,
+// package repro/internal/wal.
+type DurabilityConfig struct {
+	// WAL enables the write-ahead log. (The struct being non-nil does not
+	// by itself enable anything, so a config template can carry the
+	// directory layout with durability switched off.)
+	WAL bool
+	// Dir is the durability directory. Required when WAL is set.
+	Dir string
+	// GroupCommit is the group-commit fsync interval. Required when WAL
+	// is set; wal.DefaultGroupCommit is the recommended value.
+	GroupCommit time.Duration
+	// SnapshotBytes, when > 0, compacts the log with an online snapshot
+	// whenever it grows past this many bytes. Requires WAL.
+	SnapshotBytes int64
+}
+
+// Durability sentinel errors, returned (wrapped) by Config.Validate.
+var (
+	// ErrDurabilityDir: DurabilityConfig.WAL is set but Dir is empty.
+	ErrDurabilityDir = errors.New("zmsq: durability WAL enabled without a directory")
+	// ErrDurabilityGroupCommit: DurabilityConfig.WAL is set but
+	// GroupCommit is not positive. There is no implicit default here: the
+	// interval is the durability/latency trade-off, and silently picking
+	// one would hide the decision the option exists to force.
+	ErrDurabilityGroupCommit = errors.New("zmsq: durability WAL enabled without a group-commit interval")
+	// ErrSnapshotWithoutWAL: SnapshotBytes is set but WAL is not — a
+	// snapshot is a compaction of the log, so there is nothing to
+	// snapshot.
+	ErrSnapshotWithoutWAL = errors.New("zmsq: durability snapshot requested without the WAL")
+	// ErrDurabilityConflict: both Config.Durability (queue-owned log) and
+	// Config.WAL (externally owned policy) were set; ownership must be
+	// unambiguous.
+	ErrDurabilityConflict = errors.New("zmsq: Config.Durability and Config.WAL are both set")
+)
+
+// validateDurability is the Config.Validate arm for the durability
+// options.
+func (c Config) validateDurability() error {
+	d := c.Durability
+	if d == nil {
+		return nil
+	}
+	if c.WAL != nil && d.WAL {
+		return fmt.Errorf("%w; use Durability for a queue-owned log or WAL for an external policy, not both", ErrDurabilityConflict)
+	}
+	if d.WAL {
+		if d.Dir == "" {
+			return fmt.Errorf("%w: set Durability.Dir", ErrDurabilityDir)
+		}
+		if d.GroupCommit <= 0 {
+			return fmt.Errorf("%w: Durability.GroupCommit is %v; set it > 0 (wal.DefaultGroupCommit is %v)", ErrDurabilityGroupCommit, d.GroupCommit, wal.DefaultGroupCommit)
+		}
+	}
+	if d.SnapshotBytes < 0 {
+		return fmt.Errorf("zmsq: Durability.SnapshotBytes is %d; it must be >= 0", d.SnapshotBytes)
+	}
+	if d.SnapshotBytes > 0 && !d.WAL {
+		return fmt.Errorf("%w: Durability.SnapshotBytes is %d but Durability.WAL is false", ErrSnapshotWithoutWAL, d.SnapshotBytes)
+	}
+	return nil
+}
+
+// openWAL resolves the configured durability policy: the external
+// Config.WAL verbatim, or a queue-owned wal.Log opened from
+// Config.Durability. owned reports whether CloseWAL should close it.
+func (c Config) openWAL() (w WALPolicy, owned bool, err error) {
+	if c.WAL != nil {
+		return c.WAL, false, nil
+	}
+	if d := c.Durability; d != nil && d.WAL {
+		l, err := wal.Open(wal.Options{
+			Dir:           d.Dir,
+			GroupCommit:   d.GroupCommit,
+			SnapshotBytes: d.SnapshotBytes,
+			Seed:          c.Seed,
+			Faults:        c.Faults,
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		return l, true, nil
+	}
+	return nil, false, nil
+}
+
+// SyncWAL makes every queue operation that returned before the call
+// durable: the acknowledgement point of the durability protocol. It is a
+// no-op (nil) without a WAL.
+func (q *Queue[V]) SyncWAL() error {
+	if q.wal == nil {
+		return nil
+	}
+	return q.wal.Sync()
+}
+
+// CloseWAL releases the durability subsystem: a queue-owned log (built
+// from Config.Durability) is synced and closed; an externally owned
+// policy (Config.WAL) is synced only — its owner closes it. CloseWAL is
+// separate from Close because Close does not end the queue's life:
+// Insert stays legal after Close, and a shutdown drain's extracts must
+// still be logged. Call it last, after the final drain.
+func (q *Queue[V]) CloseWAL() error {
+	if q.wal == nil {
+		return nil
+	}
+	if q.walOwned {
+		return q.wal.Close()
+	}
+	return q.wal.Sync()
+}
+
+// AttachWAL attaches w as the queue's durability policy, with owned
+// deciding whether CloseWAL closes it. It exists for recovery: the
+// rebuilt queue must re-insert the recovered keys WITHOUT logging them —
+// they are already in the log — so Recover builds the queue bare,
+// replays, and only then attaches. It must be called before the queue is
+// shared; attaching mid-traffic would split operations across the
+// attachment unsoundly.
+func (q *Queue[V]) AttachWAL(w WALPolicy, owned bool) {
+	if q.wal != nil {
+		panic("zmsq: AttachWAL on a queue that already has a WAL")
+	}
+	q.wal = w
+	q.walOwned = owned
+}
+
+// WALStats reports the underlying wal.Log's activity counters, when the
+// attached policy is one (ok=false otherwise, including without a WAL).
+func (q *Queue[V]) WALStats() (wal.Stats, bool) {
+	if l, ok := q.wal.(*wal.Log); ok {
+		return l.Stats(), true
+	}
+	return wal.Stats{}, false
+}
+
+// NewDurable is New for configurations with a durability subsystem: it
+// returns errors — invalid config or a failure opening the write-ahead
+// log — instead of panicking, which matters for serving tools pointed at
+// an operator-supplied directory.
+func NewDurable[V any](cfg Config) (*Queue[V], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w, owned, err := cfg.openWAL()
+	if err != nil {
+		return nil, err
+	}
+	bare := cfg
+	bare.Durability = nil
+	bare.WAL = nil
+	q := New[V](bare)
+	if w != nil {
+		q.AttachWAL(w, owned)
+	}
+	return q, nil
+}
+
+// Recover rebuilds a durable queue from cfg.Durability.Dir: the durable
+// key multiset is recovered from snapshot + log, re-inserted (with zero
+// payload values — see the wal package doc on key-only durability), and
+// the reopened log attached so new operations continue the LSN sequence.
+// The recovered keys are deliberately NOT re-logged: they are already in
+// the log, and re-appending them would double-count on the next
+// recovery. cfg must have Durability.WAL set. The returned wal.State
+// describes what was recovered.
+func Recover[V any](cfg Config) (*Queue[V], *wal.State, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	d := cfg.Durability
+	if d == nil || !d.WAL {
+		return nil, nil, errors.New("zmsq: Recover needs Config.Durability with WAL enabled")
+	}
+	st, err := wal.Recover(d.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	bare := cfg
+	bare.Durability = nil
+	bare.WAL = nil
+	q := New[V](bare)
+	q.InsertBatch(st.Keys, nil)
+
+	l, _, err := cfg.openWAL()
+	if err != nil {
+		return nil, nil, err
+	}
+	q.AttachWAL(l, true)
+	return q, st, nil
+}

@@ -39,6 +39,13 @@ type Queue[V any] struct {
 	faults *fault.Injector // non-nil only under chaos testing
 	met    *Metrics        // non-nil iff cfg.Metrics was set
 
+	// wal is the durability policy (see wal.go); nil keeps the hot paths
+	// free of durability branches beyond one predictable nil check.
+	// walOwned records whether CloseWAL closes it (Config.Durability) or
+	// only syncs it (Config.WAL, externally owned).
+	wal      WALPolicy
+	walOwned bool
+
 	ctxs    sync.Pool
 	seedCtr atomic.Uint64
 	closed  atomic.Bool
@@ -62,8 +69,16 @@ func New[V any](cfg Config) *Queue[V] {
 // have been built (NewAllocDomain) from a config with the same set mode
 // and leak setting, or NewWithDomain panics. A nil ad builds a private
 // domain, making NewWithDomain(cfg, nil) identical to New(cfg).
+//
+// With Config.Durability set, opening the write-ahead log can fail for
+// I/O reasons no Validate call can foresee; NewWithDomain panics on
+// those too. Callers that want the error instead should use NewDurable.
 func NewWithDomain[V any](cfg Config, ad *AllocDomain[V]) *Queue[V] {
 	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	w, owned, err := cfg.openWAL()
+	if err != nil {
 		panic(err)
 	}
 	cfg = cfg.withDefaults()
@@ -74,6 +89,8 @@ func NewWithDomain[V any](cfg Config, ad *AllocDomain[V]) *Queue[V] {
 		useTry:    !cfg.NoTryLock,
 		faults:    cfg.Faults,
 		met:       cfg.Metrics,
+		wal:       w,
+		walOwned:  owned,
 	}
 	if ad == nil {
 		ad = NewAllocDomain[V](cfg)
@@ -105,6 +122,11 @@ func NewWithDomain[V any](cfg Config, ad *AllocDomain[V]) *Queue[V] {
 		// grow on the hot paths.
 		c.scratch = make([]element[V], 0, cfg.Batch+1)
 		c.split = make([]element[V], 0, cfg.TargetLen+2)
+		if q.wal != nil {
+			// Scratch for ExtractBatch's one-record-per-batch logging;
+			// only paid for when durability is on.
+			c.wkeys = make([]uint64, 0, cfg.Batch+1)
+		}
 		return c
 	}
 	if cfg.Helper {

@@ -26,6 +26,13 @@ func NewZMSQ(cfg core.Config) *ZMSQ {
 	return &ZMSQ{Q: core.New[struct{}](cfg), n: VariantName(cfg)}
 }
 
+// WrapZMSQ adapts an existing queue under the given display name — for
+// queues whose construction New can't do, like one rebuilt by
+// core.Recover or opened by core.NewDurable.
+func WrapZMSQ(q *core.Queue[struct{}], name string) *ZMSQ {
+	return &ZMSQ{Q: q, n: name}
+}
+
 // VariantName formats the display name the paper's figures use for a ZMSQ
 // configuration. Registry makers override it with the maker key (see
 // makers_zmsq.go); this is the label for ad-hoc Config cells.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/pq"
 	"repro/internal/sharded"
+	"repro/internal/wal"
 	"repro/internal/xrand"
 )
 
@@ -46,6 +47,14 @@ type ChaosPlan struct {
 	Queue core.Config
 	// Keys selects the workload key distribution.
 	Keys KeyDist
+	// Durable, when set, runs the whole chaos schedule with a write-ahead
+	// log attached (in WALDir): every insert and extract is logged while
+	// the fault schedule fires, and after the final drain the durable
+	// state must replay to empty — the on-disk ledger has to agree with
+	// the in-memory conservation check.
+	Durable bool
+	// WALDir is the durability directory for Durable runs (required then).
+	WALDir string
 }
 
 func (p ChaosPlan) withDefaults() ChaosPlan {
@@ -64,6 +73,29 @@ func (p ChaosPlan) withDefaults() ChaosPlan {
 	return p
 }
 
+// durability translates the plan's Durable/WALDir pair into the queue's
+// durability configuration (nil when durability is off).
+func (p ChaosPlan) durability() *core.DurabilityConfig {
+	if !p.Durable {
+		return nil
+	}
+	return &core.DurabilityConfig{WAL: true, Dir: p.WALDir, GroupCommit: wal.DefaultGroupCommit}
+}
+
+// verifyDurableEmpty replays the durable state after a full drain: every
+// logged insert must have a logged extract, so the recovered multiset
+// must be empty — the on-disk ledger's version of element conservation.
+func verifyDurableEmpty(dir string) error {
+	st, err := wal.Recover(dir)
+	if err != nil {
+		return fmt.Errorf("chaos durable: replaying the drained log: %w", err)
+	}
+	if st.Live() != 0 {
+		return fmt.Errorf("chaos durable: %d keys remain in the durable state after a full drain", st.Live())
+	}
+	return nil
+}
+
 // ChaosResult summarizes a chaos run.
 type ChaosResult struct {
 	Name      string
@@ -77,6 +109,8 @@ type ChaosResult struct {
 	FaultCalls, FaultFired map[string]uint64
 	// Report is the contract checker's summary.
 	Report contract.Report
+	// WAL is the log's activity summary for Durable runs (nil otherwise).
+	WAL *wal.Stats
 }
 
 // RunChaos runs the full chaos schedule against a ZMSQ built from
@@ -88,7 +122,11 @@ func RunChaos(plan ChaosPlan) (ChaosResult, error) {
 	cfg := plan.Queue
 	cfg.Seed = plan.Seed
 	cfg.Faults = inj
-	q := core.New[struct{}](cfg)
+	cfg.Durability = plan.durability()
+	q, err := core.NewDurable[struct{}](cfg)
+	if err != nil {
+		return ChaosResult{Name: VariantName(cfg)}, err
+	}
 	defer q.Close()
 
 	// Slack 0: the strict phase below is single-consumer with producers
@@ -202,6 +240,17 @@ func RunChaos(plan ChaosPlan) (ChaosResult, error) {
 	if err := q.CheckInvariants(); err != nil {
 		return res, fmt.Errorf("chaos final drain: %w", err)
 	}
+	if plan.Durable {
+		if stats, ok := q.WALStats(); ok {
+			res.WAL = &stats
+		}
+		if err := q.CloseWAL(); err != nil {
+			return res, fmt.Errorf("chaos durable: closing WAL: %w", err)
+		}
+		if err := verifyDurableEmpty(plan.WALDir); err != nil {
+			return res, err
+		}
+	}
 
 	res.Inserted = inserted.Load()
 	res.Extracted = extracted.Load()
@@ -240,7 +289,11 @@ func RunChaosSharded(plan ChaosPlan, shards int) (ChaosResult, error) {
 	cfg := plan.Queue
 	cfg.Seed = plan.Seed
 	cfg.Faults = inj
-	q := sharded.New[struct{}](sharded.Config{Shards: shards, Queue: cfg})
+	cfg.Durability = plan.durability()
+	q, err := sharded.NewDurable[struct{}](sharded.Config{Shards: shards, Queue: cfg})
+	if err != nil {
+		return ChaosResult{Name: fmt.Sprintf("sharded(%d)", shards)}, err
+	}
 	defer q.Close()
 
 	checker := contract.NewChecker(contract.Config{
@@ -338,6 +391,17 @@ func RunChaosSharded(plan ChaosPlan, shards int) (ChaosResult, error) {
 	q.Close()
 	if err := q.CheckInvariants(); err != nil {
 		return res, fmt.Errorf("sharded chaos final drain: %w", err)
+	}
+	if plan.Durable {
+		if stats, ok := q.WALStats(); ok {
+			res.WAL = &stats
+		}
+		if err := q.CloseWAL(); err != nil {
+			return res, fmt.Errorf("sharded chaos durable: closing WAL: %w", err)
+		}
+		if err := verifyDurableEmpty(plan.WALDir); err != nil {
+			return res, err
+		}
 	}
 
 	res.Inserted = inserted.Load()

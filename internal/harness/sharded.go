@@ -24,6 +24,12 @@ func NewSharded(cfg sharded.Config) *Sharded {
 	return &Sharded{Q: sharded.New[struct{}](cfg), n: "zmsq-sharded"}
 }
 
+// WrapSharded adapts an existing sharded queue (e.g. one rebuilt by
+// sharded.Recover) under the given display name.
+func WrapSharded(q *sharded.Queue[struct{}], name string) *Sharded {
+	return &Sharded{Q: q, n: name}
+}
+
 // Insert implements pq.Queue.
 func (s *Sharded) Insert(key uint64) { s.Q.Insert(key, struct{}{}) }
 

@@ -102,6 +102,13 @@ type Queue[V any] struct {
 	ad     *core.AllocDomain[V]
 	batch  int
 
+	// wal is the durability policy shared by every shard (see wal.go):
+	// one log, one LSN space, so recovery rebuilds the union of the
+	// shards without per-shard log merging. walOwned records whether
+	// CloseWAL closes it.
+	wal      core.WALPolicy
+	walOwned bool
+
 	ctxs    sync.Pool
 	seedCtr atomic.Uint64
 	homeCtr atomic.Uint32
@@ -134,17 +141,27 @@ func New[V any](cfg Config) *Queue[V] {
 		cfg.Shards = DefaultShards()
 	}
 	metricsOn := cfg.Queue.Metrics != nil
+	w, owned, err := openSharedWAL(cfg)
+	if err != nil {
+		panic(err)
+	}
 	ad := core.NewAllocDomain[V](cfg.Queue)
 	q := &Queue[V]{
-		shards: make([]shardSlot[V], cfg.Shards),
-		cfg:    cfg,
-		ad:     ad,
-		batch:  cfg.Queue.Batch,
+		shards:   make([]shardSlot[V], cfg.Shards),
+		cfg:      cfg,
+		ad:       ad,
+		batch:    cfg.Queue.Batch,
+		wal:      w,
+		walOwned: owned,
 	}
 	for i := range q.shards {
 		scfg := cfg.Queue
 		// Decorrelate the shards' insert-path RNG streams.
 		scfg.Seed = cfg.Queue.Seed + uint64(i+1)*0x9e3779b97f4a7c15
+		// All shards log through ONE shared policy (single LSN space);
+		// the shard-level queues never own it.
+		scfg.Durability = nil
+		scfg.WAL = w
 		if metricsOn {
 			if i == 0 {
 				// Shard 0 keeps the caller's Metrics so an externally held

@@ -1,0 +1,131 @@
+package sharded
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+// Durability for the sharded front-end. The shards share ONE write-ahead
+// log: Config.Queue.Durability (or an external Config.Queue.WAL policy)
+// is resolved once in New and threaded through every shard as its
+// core.Config.WAL, so all mutations — whichever shard they land on —
+// interleave in a single LSN space. Recovery therefore needs no
+// per-shard log merging: sharded.Recover replays the one log and
+// re-inserts the union multiset, which the front-end redistributes by
+// its normal thread-affine placement. The composed S·(Batch+1)
+// relaxation window is a property of the extraction policy, not of
+// which shard holds which key, so the rebuilt queue honors the same
+// window contract as the crashed one.
+
+// openSharedWAL resolves cfg's durability choice into the one policy all
+// shards will share. Mirrors core's resolution: an external policy is
+// passed through un-owned; a DurabilityConfig opens a queue-owned log.
+func openSharedWAL(cfg Config) (w core.WALPolicy, owned bool, err error) {
+	if cfg.Queue.WAL != nil {
+		return cfg.Queue.WAL, false, nil
+	}
+	if d := cfg.Queue.Durability; d != nil && d.WAL {
+		l, err := wal.Open(wal.Options{
+			Dir:           d.Dir,
+			GroupCommit:   d.GroupCommit,
+			SnapshotBytes: d.SnapshotBytes,
+			Seed:          cfg.Queue.Seed,
+			Faults:        cfg.Queue.Faults,
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		return l, true, nil
+	}
+	return nil, false, nil
+}
+
+// NewDurable is New with errors instead of panics for the durability
+// subsystem (invalid config, or I/O failure opening the log).
+func NewDurable[V any](cfg Config) (q *Queue[V], err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	defer func() {
+		// New only panics for reasons Validate would have caught — except
+		// the WAL open, whose error this recovers.
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				q, err = nil, e
+				return
+			}
+			panic(r)
+		}
+	}()
+	return New[V](cfg), nil
+}
+
+// SyncWAL makes every operation that returned before the call durable,
+// across all shards (they share the log, so one sync covers everything).
+// No-op without a WAL.
+func (q *Queue[V]) SyncWAL() error {
+	if q.wal == nil {
+		return nil
+	}
+	return q.wal.Sync()
+}
+
+// CloseWAL releases the durability subsystem: a front-end-owned log is
+// synced and closed, an external policy synced only. Call it after the
+// final drain — Close does not end the queue's life, and drain extracts
+// must still be logged.
+func (q *Queue[V]) CloseWAL() error {
+	if q.wal == nil {
+		return nil
+	}
+	if q.walOwned {
+		return q.wal.Close()
+	}
+	return q.wal.Sync()
+}
+
+// WALStats reports the shared wal.Log's activity counters, when the
+// policy is one (ok=false otherwise, including without a WAL).
+func (q *Queue[V]) WALStats() (wal.Stats, bool) {
+	if l, ok := q.wal.(*wal.Log); ok {
+		return l.Stats(), true
+	}
+	return wal.Stats{}, false
+}
+
+// Recover rebuilds a durable sharded queue from cfg.Queue.Durability.Dir:
+// the durable key multiset is recovered from snapshot + log, re-inserted
+// bare (not re-logged — the keys are already in the log), and the
+// reopened log attached as the shared shard policy. See core.Recover for
+// the single-queue version and the ordering argument.
+func Recover[V any](cfg Config) (*Queue[V], *wal.State, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	d := cfg.Queue.Durability
+	if d == nil || !d.WAL {
+		return nil, nil, errors.New("sharded: Recover needs Config.Queue.Durability with WAL enabled")
+	}
+	st, err := wal.Recover(d.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	bare := cfg
+	bare.Queue.Durability = nil
+	bare.Queue.WAL = nil
+	q := New[V](bare)
+	q.InsertBatch(st.Keys, nil)
+
+	l, owned, err := openSharedWAL(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range q.shards {
+		q.shards[i].q.AttachWAL(l, false)
+	}
+	q.wal, q.walOwned = l, owned
+	return q, st, nil
+}

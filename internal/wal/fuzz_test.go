@@ -1,0 +1,134 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWALDecode drives the record decoder with arbitrary bytes. The
+// properties under test:
+//
+//  1. Never panic, whatever the input.
+//  2. Encode → decode round-trips: a stream of appendRecord frames
+//     decodes back to the same (kind, lsn, keys) sequence, ending in a
+//     clean io.EOF.
+//  3. Torn-tail prefixes decode to a clean truncation: every proper
+//     byte prefix of a valid stream yields the records whose frames fit,
+//     then ErrTornTail (or io.EOF exactly on a frame boundary) — never
+//     ErrCorrupt, never a record that was not written.
+func FuzzWALDecode(f *testing.F) {
+	var seed []byte
+	seed = appendRecord(seed, recInsert, 1, 42, nil)
+	seed = appendRecord(seed, recInsertBatch, 2, 0, []uint64{7, 7, 9})
+	seed = appendRecord(seed, recExtract, 3, 7, nil)
+	seed = appendRecord(seed, recExtractBatch, 4, 0, []uint64{9})
+	f.Add(seed, uint16(len(seed)))
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1}, uint16(3))
+	f.Add(bytes.Repeat([]byte{0}, 64), uint16(64))
+
+	f.Fuzz(func(t *testing.T, raw []byte, cutAt uint16) {
+		// Property 1: arbitrary bytes never panic and always terminate.
+		d := NewDecoder(raw)
+		prevOff := d.Offset()
+		for {
+			_, err := d.Next()
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, ErrTornTail) && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("unclassified decode error: %v", err)
+				}
+				break
+			}
+			if d.Offset() <= prevOff {
+				t.Fatalf("decoder did not advance: %d -> %d", prevOff, d.Offset())
+			}
+			prevOff = d.Offset()
+		}
+
+		// Reinterpret the fuzz input as record content and check
+		// properties 2 and 3 on the valid stream built from it.
+		var enc []byte
+		type rec struct {
+			kind byte
+			lsn  uint64
+			keys []uint64
+		}
+		var want []rec
+		lsn := uint64(0)
+		for i := 0; i+1 < len(raw) && len(want) < 16; i += 2 {
+			lsn += uint64(raw[i]%5) + 1
+			kind := byte(raw[i]%4) + 1
+			var keys []uint64
+			n := int(raw[i+1]%5) + 1
+			if kind != recInsertBatch && kind != recExtractBatch {
+				n = 1
+			}
+			for j := 0; j < n; j++ {
+				keys = append(keys, uint64(raw[i+1])<<8|uint64(j))
+			}
+			if kind == recInsertBatch || kind == recExtractBatch {
+				enc = appendRecord(enc, kind, lsn, 0, keys)
+			} else {
+				enc = appendRecord(enc, kind, lsn, keys[0], nil)
+			}
+			want = append(want, rec{kind, lsn, keys})
+		}
+
+		// Property 2: full round-trip.
+		d = NewDecoder(enc)
+		for i, w := range want {
+			got, err := d.Next()
+			if err != nil {
+				t.Fatalf("record %d failed to decode: %v", i, err)
+			}
+			if got.Kind != w.kind || got.LSN != w.lsn || len(got.Keys) != len(w.keys) {
+				t.Fatalf("record %d round-trip: got kind=%d lsn=%d keys=%v, want kind=%d lsn=%d keys=%v",
+					i, got.Kind, got.LSN, got.Keys, w.kind, w.lsn, w.keys)
+			}
+			for j := range w.keys {
+				if got.Keys[j] != w.keys[j] {
+					t.Fatalf("record %d key %d: got %d want %d", i, j, got.Keys[j], w.keys[j])
+				}
+			}
+		}
+		if _, err := d.Next(); err != io.EOF {
+			t.Fatalf("after all records: %v, want io.EOF", err)
+		}
+
+		// Property 3: every prefix is a clean truncation.
+		cut := int(cutAt)
+		if len(enc) > 0 {
+			cut %= len(enc)
+		} else {
+			cut = 0
+		}
+		d = NewDecoder(enc[:cut])
+		decoded := 0
+		for {
+			got, err := d.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if errors.Is(err, ErrTornTail) {
+				var torn *TornTailError
+				if !errors.As(err, &torn) {
+					t.Fatalf("torn tail not a *TornTailError: %v", err)
+				}
+				if torn.Offset != d.Offset() {
+					t.Fatalf("torn offset %d != decoder offset %d", torn.Offset, d.Offset())
+				}
+				break
+			}
+			if err != nil {
+				t.Fatalf("prefix cut at %d of %d: %v (prefixes must tear, not corrupt)", cut, len(enc), err)
+			}
+			w := want[decoded]
+			if got.Kind != w.kind || got.LSN != w.lsn {
+				t.Fatalf("prefix decoded a record that was never written: %+v", got)
+			}
+			decoded++
+		}
+	})
+}

@@ -1,0 +1,213 @@
+// Package wal is the durability layer behind core.Config.Durability: a
+// write-ahead log of queue operations with group-committed fsync, an
+// online snapshot that compacts the log without quiescing the queue, and
+// crash recovery that rebuilds the live key multiset from snapshot +
+// tail replay.
+//
+// # What is logged
+//
+// The queue's durable state is the live multiset of KEYS: an element is
+// durably "in the queue" when its insert record is on disk and no extract
+// record for it is. Payload values are not logged — recovery restores
+// zero values — because the core queue is generic and the repository's
+// workloads key everything by priority; the record format reserves a kind
+// byte so payload-carrying records can be added without a format break.
+//
+// # Record framing
+//
+// Every record is framed as
+//
+//	length  uint32 LE   payload length in bytes
+//	crc     uint32 LE   CRC-32C (Castagnoli) of the payload
+//	payload:
+//	  kind  byte        recInsert | recExtract | recInsertBatch | recExtractBatch
+//	  lsn   uint64 LE   monotonically increasing log sequence number
+//	  keys  ...         one uint64 LE (single ops) or
+//	                    count uint32 LE + count × uint64 LE (batch ops)
+//
+// A decoder walking a file stops at the first frame that does not parse —
+// short header, implausible length, short payload, or CRC mismatch — and
+// classifies it as a torn tail (ErrTornTail): with a single appended file
+// the on-disk image after a crash is a prefix of what was written, so the
+// first bad frame marks where the crash cut the stream. A frame whose CRC
+// is valid but whose contents are nonsense (unknown kind, non-monotonic
+// LSN, key count disagreeing with the length) is corruption, not a torn
+// tail, and decoding fails hard (ErrCorrupt) rather than silently
+// dropping records.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Record kinds. The zero value is invalid so a zeroed frame can never
+// masquerade as a record.
+const (
+	recInsert       = 1 // one inserted key
+	recExtract      = 2 // one extracted key
+	recInsertBatch  = 3 // n inserted keys
+	recExtractBatch = 4 // n extracted keys
+)
+
+const (
+	headerSize = 8 // length(4) + crc(4)
+
+	// minPayload is kind(1) + lsn(8) + key(8): the smallest valid record.
+	minPayload = 17
+
+	// maxPayload bounds a single record so a garbage length field cannot
+	// make the decoder reserve gigabytes: 1 MiB holds a batch of ~128k
+	// keys, far beyond any batch the queue issues.
+	maxPayload = 1 << 20
+
+	// maxBatchKeys is the largest key count a batch record may carry,
+	// consistent with maxPayload.
+	maxBatchKeys = (maxPayload - 13) / 8
+)
+
+// castagnoli is the CRC-32C table (the polynomial used by iSCSI and most
+// modern storage formats; hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt marks a frame that passed the CRC but is semantically
+// invalid — format drift or in-place corruption, which recovery must
+// surface rather than repair by truncation.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// TornTailError reports that the byte stream ends in a frame that does
+// not parse: the crash cut the stream at or after Offset. Everything
+// before Offset decoded cleanly; recovery truncates the file there.
+type TornTailError struct {
+	// Offset is the byte offset of the first undecodable frame.
+	Offset int64
+	// Reason describes what failed (short header, bad CRC, ...).
+	Reason string
+}
+
+func (e *TornTailError) Error() string {
+	return fmt.Sprintf("wal: torn tail at byte %d (%s)", e.Offset, e.Reason)
+}
+
+// ErrTornTail is the sentinel all TornTailError values wrap, for
+// errors.Is classification.
+var ErrTornTail = errors.New("wal: torn tail")
+
+func (e *TornTailError) Unwrap() error { return ErrTornTail }
+
+// Record is one decoded log record. Keys aliases the Decoder's internal
+// scratch and is only valid until the next call to Next.
+type Record struct {
+	LSN  uint64
+	Kind byte
+	Keys []uint64
+}
+
+// appendRecord frames one record into buf and returns the extended
+// slice. It is the single encoder used by the Log's append paths; writing
+// straight into the Log's pending buffer keeps appends allocation-free
+// once the buffer has grown to its steady-state size.
+func appendRecord(buf []byte, kind byte, lsn uint64, key uint64, keys []uint64) []byte {
+	payloadLen := minPayload
+	batch := kind == recInsertBatch || kind == recExtractBatch
+	if batch {
+		payloadLen = 13 + 8*len(keys)
+	}
+	start := len(buf)
+	buf = append(buf, make([]byte, headerSize)...)
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint64(buf, lsn)
+	if batch {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+		for _, k := range keys {
+			buf = binary.LittleEndian.AppendUint64(buf, k)
+		}
+	} else {
+		buf = binary.LittleEndian.AppendUint64(buf, key)
+	}
+	payload := buf[start+headerSize:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// Decoder walks a byte image of a WAL file. It never panics on arbitrary
+// input (fuzzed: FuzzWALDecode) and distinguishes three stream endings:
+// io.EOF (clean end on a frame boundary), ErrTornTail (trailing bytes
+// that do not parse — the normal crash signature), and ErrCorrupt (a
+// CRC-valid frame with invalid contents).
+type Decoder struct {
+	b       []byte
+	off     int64
+	lastLSN uint64
+	keys    []uint64
+}
+
+// NewDecoder returns a decoder over b.
+func NewDecoder(b []byte) *Decoder { return &Decoder{b: b} }
+
+// Offset returns the byte offset of the next undecoded frame — after a
+// torn-tail error, the offset recovery should truncate the file to.
+func (d *Decoder) Offset() int64 { return d.off }
+
+func (d *Decoder) torn(reason string) (Record, error) {
+	return Record{}, &TornTailError{Offset: d.off, Reason: reason}
+}
+
+// Next decodes the next record. It returns io.EOF when the stream ends
+// exactly on a frame boundary.
+func (d *Decoder) Next() (Record, error) {
+	rest := d.b[d.off:]
+	if len(rest) == 0 {
+		return Record{}, io.EOF
+	}
+	if len(rest) < headerSize {
+		return d.torn("short header")
+	}
+	length := binary.LittleEndian.Uint32(rest)
+	if length < minPayload || length > maxPayload {
+		return d.torn(fmt.Sprintf("implausible payload length %d", length))
+	}
+	if len(rest) < headerSize+int(length) {
+		return d.torn("short payload")
+	}
+	payload := rest[headerSize : headerSize+int(length)]
+	if crc := crc32.Checksum(payload, castagnoli); crc != binary.LittleEndian.Uint32(rest[4:]) {
+		return d.torn("crc mismatch")
+	}
+
+	// The frame is intact; anything wrong from here on is corruption.
+	rec := Record{Kind: payload[0], LSN: binary.LittleEndian.Uint64(payload[1:])}
+	if rec.LSN <= d.lastLSN {
+		return Record{}, fmt.Errorf("%w: LSN %d at byte %d not greater than previous %d", ErrCorrupt, rec.LSN, d.off, d.lastLSN)
+	}
+	body := payload[9:]
+	switch rec.Kind {
+	case recInsert, recExtract:
+		if len(body) != 8 {
+			return Record{}, fmt.Errorf("%w: single-key record with %d body bytes", ErrCorrupt, len(body))
+		}
+		d.keys = append(d.keys[:0], binary.LittleEndian.Uint64(body))
+	case recInsertBatch, recExtractBatch:
+		if len(body) < 4 {
+			return Record{}, fmt.Errorf("%w: batch record with %d body bytes", ErrCorrupt, len(body))
+		}
+		n := binary.LittleEndian.Uint32(body)
+		if n == 0 || n > maxBatchKeys || len(body) != 4+8*int(n) {
+			return Record{}, fmt.Errorf("%w: batch record count %d disagrees with %d body bytes", ErrCorrupt, n, len(body))
+		}
+		d.keys = d.keys[:0]
+		for i := 0; i < int(n); i++ {
+			d.keys = append(d.keys, binary.LittleEndian.Uint64(body[4+8*i:]))
+		}
+	default:
+		return Record{}, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, rec.Kind)
+	}
+	rec.Keys = d.keys
+	d.lastLSN = rec.LSN
+	d.off += int64(headerSize + int(length))
+	return rec, nil
+}

@@ -1,0 +1,289 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fault"
+)
+
+// Online snapshots compact the log without quiescing the queue. A naive
+// snapshot would freeze the queue and dump its contents; instead the
+// snapshot is computed from the log itself: the durable prefix
+// [0, durableOff] is a stable byte range (fsynced, append-only, never
+// rewritten), and because inserts are logged before they become visible
+// and extracts after removal, replaying that prefix over the previous
+// snapshot yields the exact durable key multiset at the watermark LSN —
+// while concurrent inserts and extracts keep appending past the
+// watermark untouched. The snapshot is written to a temp file, fsynced,
+// and renamed into place; only then is the covered prefix trimmed off
+// the log. Recovery skips log records at or below the snapshot
+// watermark, so a crash anywhere in this sequence (temp abandoned,
+// snapshot renamed but log untrimmed) recovers to the same state.
+
+// snapMagic identifies a snapshot file ("ZMSQSNP1" little-endian).
+const snapMagic uint64 = 0x31504e5351534d5a
+
+// snapHeader is magic(8) + watermark lsn(8) + distinct-key count(8).
+const snapHeader = 24
+
+// encodeSnapshot serializes a key-count multiset:
+//
+//	magic  uint64 LE
+//	lsn    uint64 LE   watermark: records with LSN <= lsn are covered
+//	n      uint64 LE   number of distinct keys
+//	n × (key uint64 LE, count uint64 LE)
+//	crc    uint32 LE   CRC-32C of everything after magic
+func encodeSnapshot(lsn uint64, counts map[uint64]int64) []byte {
+	b := make([]byte, 0, snapHeader+16*len(counts)+4)
+	b = binary.LittleEndian.AppendUint64(b, snapMagic)
+	b = binary.LittleEndian.AppendUint64(b, lsn)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(counts)))
+	for k, c := range counts {
+		b = binary.LittleEndian.AppendUint64(b, k)
+		b = binary.LittleEndian.AppendUint64(b, uint64(c))
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b[8:], castagnoli))
+}
+
+// loadSnapshot reads and validates a snapshot file. A missing file
+// returns os.ErrNotExist with a nil map; any malformed content is
+// ErrCorrupt — a snapshot is only ever installed by an atomic rename
+// after fsync, so unlike the log it has no torn-tail excuse.
+func loadSnapshot(path string) (lsn uint64, counts map[uint64]int64, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil, err
+		}
+		return 0, nil, fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if len(b) < snapHeader+4 || binary.LittleEndian.Uint64(b) != snapMagic {
+		return 0, nil, fmt.Errorf("%w: snapshot missing magic", ErrCorrupt)
+	}
+	body, crc := b[8:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.Checksum(body, castagnoli) != crc {
+		return 0, nil, fmt.Errorf("%w: snapshot crc mismatch", ErrCorrupt)
+	}
+	lsn = binary.LittleEndian.Uint64(body)
+	n := binary.LittleEndian.Uint64(body[8:])
+	if uint64(len(body)) != 16+16*n {
+		return 0, nil, fmt.Errorf("%w: snapshot count %d disagrees with %d body bytes", ErrCorrupt, n, len(body))
+	}
+	counts = make(map[uint64]int64, n)
+	for i := uint64(0); i < n; i++ {
+		k := binary.LittleEndian.Uint64(body[16+16*i:])
+		c := int64(binary.LittleEndian.Uint64(body[24+16*i:]))
+		if c <= 0 {
+			return 0, nil, fmt.Errorf("%w: snapshot key %d has count %d", ErrCorrupt, k, c)
+		}
+		counts[k] = c
+	}
+	return lsn, counts, nil
+}
+
+// readSnapshotHeader returns the watermark LSN of the snapshot at path
+// (validating the whole file while at it). Missing file: os.ErrNotExist.
+func readSnapshotHeader(path string) (lsn uint64, n int, err error) {
+	lsn, counts, err := loadSnapshot(path)
+	return lsn, len(counts), err
+}
+
+// replay applies the records of a log image to counts, skipping records
+// at or below snapLSN (already covered by the snapshot). It returns the
+// last LSN applied or skipped, the number of records walked, and the
+// offset of a torn tail (-1 if the image ends cleanly). A key whose
+// count would go negative means an extract record without a matching
+// insert — impossible under the append-before-insert / append-after-
+// extract ordering, so it is corruption.
+func replay(counts map[uint64]int64, b []byte, snapLSN uint64) (lastLSN, records uint64, tornOff int64, err error) {
+	d := NewDecoder(b)
+	tornOff = -1
+	for {
+		rec, err := d.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return lastLSN, records, tornOff, nil
+			}
+			if errors.Is(err, ErrTornTail) {
+				return lastLSN, records, d.Offset(), nil
+			}
+			return lastLSN, records, tornOff, err
+		}
+		records++
+		lastLSN = rec.LSN
+		if rec.LSN <= snapLSN {
+			continue
+		}
+		switch rec.Kind {
+		case recInsert, recInsertBatch:
+			for _, k := range rec.Keys {
+				counts[k]++
+			}
+		case recExtract, recExtractBatch:
+			for _, k := range rec.Keys {
+				if counts[k]--; counts[k] < 0 {
+					return lastLSN, records, tornOff, fmt.Errorf("%w: extract of key %d at LSN %d without a durable insert", ErrCorrupt, k, rec.LSN)
+				}
+				if counts[k] == 0 {
+					delete(counts, k)
+				}
+			}
+		}
+	}
+}
+
+// Snapshot takes an online snapshot and trims the covered log prefix.
+// It never blocks queue operations: concurrent appends keep landing in
+// the pending buffer and the file tail while the durable prefix is read
+// back and compacted. Automatic snapshots (Options.SnapshotBytes) call
+// this from the group-commit goroutine.
+func (l *Log) Snapshot() error {
+	if l.crashed.Load() {
+		return ErrCrashed
+	}
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
+
+	// Push the watermark as far as possible so the snapshot covers
+	// everything appended so far.
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	cutOff := l.durableOff.Load()
+	cutLSN := l.durableLSN.Load()
+
+	// Read the durable prefix back. These bytes are stable: fsynced,
+	// append-only, and trims are serialized by snapMu.
+	prefix := make([]byte, cutOff)
+	f, err := os.Open(filepath.Join(l.dir, walName))
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	_, err = io.ReadFull(f, prefix)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: reading durable prefix: %w", err)
+	}
+
+	prevLSN, counts, err := loadSnapshot(filepath.Join(l.dir, snapName))
+	if errors.Is(err, os.ErrNotExist) {
+		counts = make(map[uint64]int64)
+	} else if err != nil {
+		return err
+	}
+	if _, _, torn, err := replay(counts, prefix, prevLSN); err != nil {
+		return err
+	} else if torn >= 0 {
+		return fmt.Errorf("%w: durable prefix of live log is torn at byte %d", ErrCorrupt, torn)
+	}
+
+	if err := l.writeSnapshot(cutLSN, counts); err != nil {
+		return err
+	}
+	l.snaps.Add(1)
+	return l.trimTo(cutOff)
+}
+
+// writeSnapshot writes the snapshot atomically: temp file, fsync,
+// rename, directory fsync. The fault.WALSnapshot point fires between
+// chunks of the temp write, abandoning a part-written temp exactly as a
+// mid-snapshot kill would.
+func (l *Log) writeSnapshot(lsn uint64, counts map[uint64]int64) error {
+	b := encodeSnapshot(lsn, counts)
+	tmp := filepath.Join(l.dir, snapTmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	const chunk = 1 << 12
+	for off := 0; off < len(b); off += chunk {
+		if l.faults != nil && l.faults.Fire(fault.WALSnapshot) {
+			// Crash mid-snapshot: the temp is abandoned part-written and
+			// the log's unsynced tail is cut like any other kill.
+			f.Close()
+			l.mu.Lock()
+			total := l.written + int64(len(l.buf))
+			d := l.durableOff.Load()
+			l.crashLocked(d + int64(l.rng.Uint64n(uint64(total-d)+1)))
+			l.mu.Unlock()
+			return ErrCrashed
+		}
+		end := off + chunk
+		if end > len(b) {
+			end = len(b)
+		}
+		if _, err := f.Write(b[off:end]); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: snapshot: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapName)); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if d, err := os.Open(l.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// trimTo drops the log prefix [0, cutOff) now covered by the snapshot:
+// the tail is copied to a temp file, renamed over the log, and the live
+// handle and offsets rebased. Serialized against Sync by syncMu so the
+// durable watermark and the file identity move together. If a crash
+// froze meanwhile the trim is skipped — the crash cut is in the old
+// file's coordinates, and an untrimmed log is always safe because
+// recovery skips records the snapshot covers.
+func (l *Log) trimTo(cutOff int64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	if l.crashed.Load() {
+		return nil
+	}
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+
+	tmp := filepath.Join(l.dir, walTmpName)
+	nf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: trim: %w", err)
+	}
+	if _, err := io.Copy(nf, io.NewSectionReader(l.f, cutOff, l.written-cutOff)); err != nil {
+		nf.Close()
+		return fmt.Errorf("wal: trim: copying tail: %w", err)
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		return fmt.Errorf("wal: trim: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, walName)); err != nil {
+		nf.Close()
+		return fmt.Errorf("wal: trim: %w", err)
+	}
+	l.f.Close()
+	l.f = nf
+	l.written -= cutOff
+	l.durableOff.Add(-cutOff)
+	if _, err := l.f.Seek(l.written, 0); err != nil {
+		return fmt.Errorf("wal: trim: %w", err)
+	}
+	l.trims.Add(1)
+	return nil
+}

@@ -36,6 +36,7 @@ package repro
 import (
 	"repro/internal/core"
 	"repro/internal/locks"
+	"repro/internal/wal"
 )
 
 // Queue is a ZMSQ relaxed concurrent priority queue holding (uint64, V)
@@ -125,3 +126,43 @@ func NewStrict[V any]() *Queue[V] {
 	cfg.Batch = 0
 	return core.New[V](cfg)
 }
+
+// DurabilityConfig asks the queue to own a write-ahead log: assign one to
+// Config.Durability (with WAL set) and every insert and extract is logged
+// through group-committed fsyncs. An operation is durable once a later
+// Queue.SyncWAL returns nil; see DESIGN.md §10 for the protocol.
+type DurabilityConfig = core.DurabilityConfig
+
+// RecoveredState describes what Recover read back from a durability
+// directory: the surviving key multiset, the snapshot watermark, and what
+// a crash's torn tail cost.
+type RecoveredState = wal.State
+
+// DefaultGroupCommit is the recommended DurabilityConfig.GroupCommit
+// interval.
+const DefaultGroupCommit = wal.DefaultGroupCommit
+
+// Durability configuration errors, matched with errors.Is against the
+// error Config.Validate (and NewDurable) returns.
+var (
+	ErrDurabilityDir         = core.ErrDurabilityDir
+	ErrDurabilityGroupCommit = core.ErrDurabilityGroupCommit
+	ErrSnapshotWithoutWAL    = core.ErrSnapshotWithoutWAL
+	ErrDurabilityConflict    = core.ErrDurabilityConflict
+)
+
+// NewDurable is New for configurations with Config.Durability set,
+// returning errors (invalid config, log open failure) instead of
+// panicking. Call Queue.CloseWAL after the final drain.
+func NewDurable[V any](cfg Config) (*Queue[V], error) { return core.NewDurable[V](cfg) }
+
+// Recover rebuilds a durable queue from cfg.Durability.Dir: snapshot +
+// log replay restore the surviving keys (with zero V values — durability
+// is key-only) and the reopened log is attached so new operations
+// continue the sequence.
+func Recover[V any](cfg Config) (*Queue[V], *RecoveredState, error) {
+	return core.Recover[V](cfg)
+}
+
+// WALExists reports whether dir holds durable queue state to Recover.
+func WALExists(dir string) bool { return wal.Exists(dir) }
