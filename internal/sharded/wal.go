@@ -43,23 +43,28 @@ func openSharedWAL(cfg Config) (w core.WALPolicy, owned bool, err error) {
 }
 
 // NewDurable is New with errors instead of panics for the durability
-// subsystem (invalid config, or I/O failure opening the log).
-func NewDurable[V any](cfg Config) (q *Queue[V], err error) {
+// subsystem (invalid config, or I/O failure opening the log): the log is
+// opened first, the queue built bare, and the policy attached — the same
+// shape as core.NewDurable and Recover below.
+func NewDurable[V any](cfg Config) (*Queue[V], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	defer func() {
-		// New only panics for reasons Validate would have caught — except
-		// the WAL open, whose error this recovers.
-		if r := recover(); r != nil {
-			if e, ok := r.(error); ok {
-				q, err = nil, e
-				return
-			}
-			panic(r)
+	w, owned, err := openSharedWAL(cfg)
+	if err != nil {
+		return nil, err
+	}
+	bare := cfg
+	bare.Queue.Durability = nil
+	bare.Queue.WAL = nil
+	q := New[V](bare)
+	if w != nil {
+		for i := range q.shards {
+			q.shards[i].q.AttachWAL(w, false)
 		}
-	}()
-	return New[V](cfg), nil
+		q.wal, q.walOwned = w, owned
+	}
+	return q, nil
 }
 
 // SyncWAL makes every operation that returned before the call durable,

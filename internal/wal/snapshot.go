@@ -155,8 +155,7 @@ func (l *Log) Snapshot() error {
 	if err := l.Sync(); err != nil {
 		return err
 	}
-	cutOff := l.durableOff.Load()
-	cutLSN := l.durableLSN.Load()
+	cutOff, cutLSN := l.durableWatermark()
 
 	// Read the durable prefix back. These bytes are stable: fsynced,
 	// append-only, and trims are serialized by snapMu.
@@ -276,6 +275,10 @@ func (l *Log) trimTo(cutOff int64) error {
 	if err := os.Rename(tmp, filepath.Join(l.dir, walName)); err != nil {
 		nf.Close()
 		return fmt.Errorf("wal: trim: %w", err)
+	}
+	if d, err := os.Open(l.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
 	}
 	l.f.Close()
 	l.f = nf

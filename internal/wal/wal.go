@@ -212,11 +212,16 @@ func scanExisting(path string) (end int64, lastLSN uint64, err error) {
 	return d.Offset(), lastLSN, nil
 }
 
-// append frames one record into the pending buffer. key is used for the
-// single-op kinds; keys for the batch kinds.
+// append frames one or more records into the pending buffer. key is used
+// for the single-op kinds; keys for the batch kinds. A batch larger than
+// maxBatchKeys is chunked into several records (each with its own LSN):
+// the decoder rejects frames over maxPayload, so a single oversized frame
+// would be classified on recovery as a torn tail and truncated — along
+// with every record after it.
 func (l *Log) append(kind byte, key uint64, keys []uint64) {
 	n := 1
-	if kind == recInsertBatch || kind == recExtractBatch {
+	batch := kind == recInsertBatch || kind == recExtractBatch
+	if batch {
 		n = len(keys)
 		if n == 0 {
 			return
@@ -227,19 +232,33 @@ func (l *Log) append(kind byte, key uint64, keys []uint64) {
 		l.mu.Unlock()
 		return
 	}
-	lsn := l.nextLSN
-	l.nextLSN++
 	start := len(l.buf)
-	l.buf = appendRecord(l.buf, kind, lsn, key, keys)
+	recs := uint64(0)
+	if batch {
+		for len(keys) > 0 {
+			c := keys
+			if len(c) > maxBatchKeys {
+				c = c[:maxBatchKeys]
+			}
+			l.buf = appendRecord(l.buf, kind, l.nextLSN, 0, c)
+			l.nextLSN++
+			keys = keys[len(c):]
+			recs++
+		}
+	} else {
+		l.buf = appendRecord(l.buf, kind, l.nextLSN, key, nil)
+		l.nextLSN++
+		recs = 1
+	}
 	recLen := int64(len(l.buf) - start)
 	if l.faults != nil && l.faults.Fire(fault.WALAppend) {
-		// Crash mid-append: the cut lands inside this record's frame, so
-		// recovery sees a torn tail beginning exactly here.
+		// Crash mid-append: the cut lands inside this append's frames, so
+		// recovery sees a torn tail beginning at or after their start.
 		recStart := l.written + int64(start)
 		l.crashLocked(recStart + int64(l.rng.Uint64n(uint64(recLen))))
 	}
 	l.mu.Unlock()
-	l.records.Add(1)
+	l.records.Add(recs)
 	l.ops.Add(uint64(n))
 	l.bytes.Add(recLen)
 }
@@ -251,7 +270,8 @@ func (l *Log) append(kind byte, key uint64, keys []uint64) {
 func (l *Log) AppendInsert(key uint64) { l.append(recInsert, key, nil) }
 
 // AppendInsertBatch logs a batch of inserted keys as one record (one
-// frame, one LSN). Same ordering rule as AppendInsert.
+// frame, one LSN), chunked into several records above maxBatchKeys keys.
+// Same ordering rule as AppendInsert.
 func (l *Log) AppendInsertBatch(keys []uint64) { l.append(recInsertBatch, 0, keys) }
 
 // AppendExtract logs one extracted key. Call it AFTER the element has
@@ -432,6 +452,17 @@ func (l *Log) lastLSN() uint64 {
 
 // DurableLSN returns the highest LSN covered by a completed fsync.
 func (l *Log) DurableLSN() uint64 { return l.durableLSN.Load() }
+
+// durableWatermark returns the durable (offset, LSN) watermark as a
+// consistent pair. Sync stores both values while holding mu (and trimTo
+// rebases the offset under it), so two bare atomic loads could observe
+// one sync's offset with another's LSN — a torn pair that would let a
+// snapshot claim a watermark LSN its covered prefix does not contain.
+func (l *Log) durableWatermark() (off int64, lsn uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durableOff.Load(), l.durableLSN.Load()
+}
 
 // Dir returns the durability directory.
 func (l *Log) Dir() string { return l.dir }

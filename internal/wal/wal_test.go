@@ -60,6 +60,44 @@ func TestRoundTrip(t *testing.T) {
 	wantKeys(t, recoverKeys(t, opts.Dir), 5, 7)
 }
 
+// An append batch larger than maxBatchKeys must be split into several
+// records: a single oversized frame would exceed maxPayload, which the
+// decoder classifies as a torn tail — recovery would then silently
+// truncate that record and everything after it.
+func TestOversizedBatchChunked(t *testing.T) {
+	opts := testOptions(t)
+	l := mustOpen(t, opts)
+	n := maxBatchKeys + 5
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	l.AppendInsertBatch(keys)
+	l.AppendExtractBatch([]uint64{0, uint64(n - 1)})
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if st := l.Stats(); st.Records != 3 {
+		t.Fatalf("oversized batch + extract appended %d records, want 3 (2 insert chunks + 1 extract)", st.Records)
+	}
+
+	st, err := Recover(opts.Dir)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if st.TornOffset != -1 {
+		t.Fatalf("recovery saw a torn tail at %d in a cleanly closed log", st.TornOffset)
+	}
+	if len(st.Keys) != n-2 {
+		t.Fatalf("recovered %d keys, want %d", len(st.Keys), n-2)
+	}
+	for i, k := range st.Keys {
+		if k != uint64(i+1) {
+			t.Fatalf("recovered key[%d] = %d, want %d", i, k, i+1)
+		}
+	}
+}
+
 func TestEmptyDirRecoversEmpty(t *testing.T) {
 	st, err := Recover(t.TempDir())
 	if err != nil {
