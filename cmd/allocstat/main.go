@@ -1,14 +1,18 @@
-// Command allocstat measures steady-state heap allocations per operation
-// for the ZMSQ hot paths and writes them as JSON, giving CI a perf
+// Command allocstat is the thin front-end for the "alloc" experiment of
+// the grid: steady-state heap allocations per operation for the ZMSQ hot
+// paths, written in the canonical gate-report schema so CI has a perf
 // trajectory file (results/BENCH_alloc.json) that future PRs can diff.
+// The measured config corners, the ops, and the gate ceiling live in the
+// grid spec (internal/experiment/experiments.json).
 //
-// Methodology: for each (mode, op) cell the queue is prefilled and warmed
-// until every pooled context and scratch buffer has reached steady-state
-// capacity, then the op runs in a paired insert/extract loop (so the queue
-// size — and with it the node-recycling balance — stays constant) with the
-// GC disabled while runtime.MemStats.Mallocs is sampled around the loop.
-// The paired loop is the point: insert-only necessarily allocates (net new
-// elements need memory); the zero-allocation claim is about steady state.
+// Methodology (see internal/experiment/alloc.go): each (variant, op)
+// cell prefills and warms the queue to steady state, then samples
+// runtime.MemStats.Mallocs around a paired insert/extract loop with the
+// GC disabled. The paired loop is the point: insert-only necessarily
+// allocates; the zero-allocation claim is about steady state.
+//
+//	go run ./cmd/allocstat -out results/BENCH_alloc.json
+//	go run ./cmd/allocstat -gate           # also judge the spec's ceiling
 package main
 
 import (
@@ -16,139 +20,78 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/debug"
+	"path/filepath"
 
-	"repro/internal/core"
-	"repro/internal/xrand"
+	"repro/internal/experiment"
 )
 
-// Cell is one measured (mode, op) combination.
-type Cell struct {
-	Mode        string  `json:"mode"`
-	Op          string  `json:"op"`
-	Runs        int     `json:"runs"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-}
+const gateName = "alloc"
 
-// Report is the JSON document written to -out.
-type Report struct {
-	Tool  string `json:"tool"`
-	Go    string `json:"go"`
-	Cells []Cell `json:"cells"`
-}
-
-// modes are the config corners the trajectory tracks; buildReport measures
-// every (mode, op) combination.
-var modes = []struct {
-	name string
-	cfg  func() core.Config
-}{
-	{"leaky-list", func() core.Config { c := core.DefaultConfig(); c.Leaky = true; return c }},
-	{"array", func() core.Config { c := core.DefaultConfig(); c.ArraySet = true; return c }},
-	{"array-leaky", func() core.Config {
-		c := core.DefaultConfig()
-		c.ArraySet, c.Leaky = true, true
-		return c
-	}},
-	{"memory-safe-list", core.DefaultConfig},
-}
-
-var ops = []string{"insert+extract", "batch64"}
-
-// buildReport measures every cell and assembles the report document. Split
+// buildReport runs the alloc experiment and evaluates its gate; split
 // from main so tests can pin the output shape without shelling out.
-func buildReport(runs int) Report {
-	rep := Report{Tool: "allocstat", Go: runtime.Version()}
-	for _, m := range modes {
-		for _, op := range ops {
-			rep.Cells = append(rep.Cells, measure(m.name, op, m.cfg(), runs))
-		}
+func buildReport(spec *experiment.Spec, runs int, seed uint64) (*experiment.GridResult, experiment.GateResult, error) {
+	g := spec.Gate(gateName)
+	if g == nil {
+		return nil, experiment.GateResult{}, fmt.Errorf("spec has no %q gate", gateName)
 	}
-	return rep
+	grid, err := spec.Run([]string{g.Experiment}, experiment.Options{Scale: "small", Seed: seed, Ops: runs})
+	if err != nil {
+		return nil, experiment.GateResult{}, err
+	}
+	res, err := g.Eval(grid)
+	return grid, res, err
 }
 
 func main() {
 	var (
-		out  = flag.String("out", "", "write JSON here (default stdout)")
-		runs = flag.Int("runs", 20000, "measured operations per cell")
+		specPath = flag.String("spec", "", "grid spec JSON (empty = embedded default)")
+		out      = flag.String("out", "", "write JSON here (default stdout)")
+		runs     = flag.Int("runs", 20000, "measured operations per cell")
+		seed     = flag.Uint64("seed", 1, "workload key seed")
+		gate     = flag.Bool("gate", false, "fail when a gated cell exceeds the spec's allocs/op ceiling")
 	)
 	flag.Parse()
 
-	rep := buildReport(*runs)
-
-	enc, err := json.MarshalIndent(rep, "", "  ")
+	spec, err := experiment.LoadSpec(*specPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "allocstat:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	enc = append(enc, '\n')
+	grid, res, err := buildReport(spec, *runs, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	for _, c := range grid.Cells {
+		fmt.Fprintf(os.Stderr, "allocstat: %-18s %-16s %.4f allocs/op over %d ops\n",
+			c.Cell.Variant, c.Cell.Op, c.Value, c.Cell.Ops)
+	}
+
+	g := *spec.Gate(gateName)
 	if *out == "" {
-		_, _ = os.Stdout.Write(enc)
-		return
+		rep := experiment.GateReport{Tool: "allocstat", Env: grid.Env, Scale: grid.Scale, Seed: grid.Seed, Gate: res, Cells: grid.Cells}
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		_, _ = os.Stdout.Write(append(enc, '\n'))
+	} else {
+		dir, file := filepath.Split(*out)
+		g.Out = file
+		if dir == "" {
+			dir = "."
+		}
+		if err := experiment.WriteGateReport(dir, "allocstat", grid, g, res); err != nil {
+			fatal(err)
+		}
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "allocstat:", err)
+
+	if *gate && !res.Pass {
+		fmt.Fprintf(os.Stderr, "allocstat: FAIL — %s\n", res.Detail)
+		fmt.Fprintf(os.Stderr, "allocstat: reproduce with: go run ./cmd/allocstat -gate -runs %d -seed %d\n", *runs, *seed)
 		os.Exit(1)
 	}
 }
 
-func measure(mode, op string, cfg core.Config, runs int) Cell {
-	q := core.New[struct{}](cfg)
-	defer q.Close()
-	r := xrand.New(1)
-	draw := func() uint64 { return r.Uint64() >> 44 }
-
-	for i := 0; i < 1<<13; i++ {
-		q.Insert(draw(), struct{}{})
-	}
-
-	const batch = 64
-	keys := make([]uint64, batch)
-	dst := make([]core.Element[struct{}], 0, batch)
-	var step func()
-	var perRun int
-	switch op {
-	case "insert+extract":
-		perRun = 1
-		step = func() {
-			q.Insert(draw(), struct{}{})
-			q.TryExtractMax()
-		}
-	case "batch64":
-		perRun = batch
-		step = func() {
-			for i := range keys {
-				keys[i] = draw()
-			}
-			q.InsertBatch(keys, nil)
-			dst = q.ExtractBatch(dst[:0], batch)
-		}
-	default:
-		panic("unknown op " + op)
-	}
-
-	// Warm pooled contexts, scratch capacities, and the node caches.
-	for i := 0; i < 4096/perRun+1; i++ {
-		step()
-	}
-
-	defer debug.SetGCPercent(debug.SetGCPercent(-1))
-	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
-	iters := runs / perRun
-	if iters < 1 {
-		iters = 1
-	}
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	for i := 0; i < iters; i++ {
-		step()
-	}
-	runtime.ReadMemStats(&after)
-	return Cell{
-		Mode:        mode,
-		Op:          op,
-		Runs:        iters * perRun,
-		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters*perRun),
-	}
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "allocstat:", err)
+	os.Exit(1)
 }

@@ -3,56 +3,75 @@ package main
 import (
 	"encoding/json"
 	"testing"
+
+	"repro/internal/experiment"
 )
 
-// TestReportShape pins the JSON document CI archives as
-// results/BENCH_alloc.json: downstream diffing breaks silently if a field
-// is renamed or a cell disappears, so the shape is asserted here.
+// TestReportShape pins the document CI archives as
+// results/BENCH_alloc.json: downstream diffing (the trajectory, plots)
+// breaks silently if a field is renamed or a cell disappears, so the
+// shape is asserted here against the canonical grid schema.
 func TestReportShape(t *testing.T) {
-	rep := buildReport(256) // small run count: shape, not timing
+	spec, err := experiment.LoadSpec("")
+	if err != nil {
+		t.Fatalf("LoadSpec: %v", err)
+	}
+	grid, res, err := buildReport(spec, 256, 1) // small run count: shape, not timing
+	if err != nil {
+		t.Fatalf("buildReport: %v", err)
+	}
+	if err := experiment.ValidateGrid(grid); err != nil {
+		t.Fatalf("grid fails canonical schema: %v", err)
+	}
 
-	if rep.Tool != "allocstat" {
-		t.Errorf("Tool = %q, want \"allocstat\"", rep.Tool)
+	ex := spec.Experiment("alloc")
+	if want := len(ex.Variants) * len(ex.AllocOps); len(grid.Cells) != want {
+		t.Fatalf("got %d cells, want %d (variants × ops)", len(grid.Cells), want)
 	}
-	if rep.Go == "" {
-		t.Error("Go version field is empty")
-	}
-	if want := len(modes) * len(ops); len(rep.Cells) != want {
-		t.Fatalf("got %d cells, want %d (modes × ops)", len(rep.Cells), want)
-	}
-
 	seen := map[[2]string]bool{}
-	for _, c := range rep.Cells {
-		if c.Runs <= 0 {
-			t.Errorf("cell %s/%s: Runs = %d, want > 0", c.Mode, c.Op, c.Runs)
+	for _, c := range grid.Cells {
+		if c.Unit != "allocs/op" {
+			t.Errorf("cell %s/%s: Unit = %q, want allocs/op", c.Cell.Variant, c.Cell.Op, c.Unit)
 		}
-		if c.AllocsPerOp < 0 {
-			t.Errorf("cell %s/%s: AllocsPerOp = %v, want >= 0", c.Mode, c.Op, c.AllocsPerOp)
+		if c.Cell.Ops <= 0 {
+			t.Errorf("cell %s/%s: Ops = %d, want > 0", c.Cell.Variant, c.Cell.Op, c.Cell.Ops)
 		}
-		key := [2]string{c.Mode, c.Op}
+		if c.Value < 0 {
+			t.Errorf("cell %s/%s: Value = %v, want >= 0", c.Cell.Variant, c.Cell.Op, c.Value)
+		}
+		key := [2]string{c.Cell.Variant, c.Cell.Op}
 		if seen[key] {
-			t.Errorf("duplicate cell %s/%s", c.Mode, c.Op)
+			t.Errorf("duplicate cell %s/%s", key[0], key[1])
 		}
 		seen[key] = true
 	}
-	for _, m := range modes {
-		for _, op := range ops {
-			if !seen[[2]string{m.name, op}] {
-				t.Errorf("missing cell %s/%s", m.name, op)
+	for _, v := range ex.Variants {
+		for _, op := range ex.AllocOps {
+			if !seen[[2]string{v.Name, op}] {
+				t.Errorf("missing cell %s/%s", v.Name, op)
 			}
 		}
+	}
+
+	if res.Name != "alloc" || res.Metric != "allocs/op" {
+		t.Errorf("gate result = %+v, want name=alloc metric=allocs/op", res)
 	}
 }
 
 // TestReportJSONRoundTrip asserts the wire field names — the part a Go
 // rename would silently change.
 func TestReportJSONRoundTrip(t *testing.T) {
-	in := Report{
-		Tool: "allocstat",
-		Go:   "go1.x",
-		Cells: []Cell{
-			{Mode: "memory-safe-list", Op: "insert+extract", Runs: 100, AllocsPerOp: 0.25},
-		},
+	in := experiment.GateReport{
+		Tool:  "allocstat",
+		Env:   experiment.CaptureEnv(),
+		Scale: "small",
+		Seed:  1,
+		Gate:  experiment.GateResult{Name: "alloc", Kind: "max", Metric: "allocs/op", Value: 0.25, Threshold: 0.05},
+		Cells: []experiment.CellResult{{
+			Cell: experiment.Cell{Experiment: "alloc", Kind: "alloc", Variant: "memory-safe-list",
+				Op: "insert+extract", Ops: 100, Repeats: 1, Seed: 1},
+			Unit: "allocs/op", Statistic: "mean", Samples: []float64{0.25}, Value: 0.25,
+		}},
 	}
 	buf, err := json.Marshal(in)
 	if err != nil {
@@ -62,9 +81,18 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(buf, &m); err != nil {
 		t.Fatalf("unmarshal into map: %v", err)
 	}
-	for _, key := range []string{"tool", "go", "cells"} {
+	for _, key := range []string{"tool", "env", "scale", "seed", "gate", "cells"} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("top-level JSON key %q missing", key)
+		}
+	}
+	env, ok := m["env"].(map[string]any)
+	if !ok {
+		t.Fatalf("env = %v, want object", m["env"])
+	}
+	for _, key := range []string{"git_sha", "go", "gomaxprocs", "cores", "os", "arch", "date"} {
+		if _, ok := env[key]; !ok {
+			t.Errorf("env JSON key %q missing", key)
 		}
 	}
 	cells, ok := m["cells"].([]any)
@@ -72,17 +100,23 @@ func TestReportJSONRoundTrip(t *testing.T) {
 		t.Fatalf("cells = %v, want one-element array", m["cells"])
 	}
 	cell := cells[0].(map[string]any)
-	for _, key := range []string{"mode", "op", "runs", "allocs_per_op"} {
+	for _, key := range []string{"cell", "unit", "samples", "statistic", "value"} {
 		if _, ok := cell[key]; !ok {
 			t.Errorf("cell JSON key %q missing", key)
 		}
 	}
-
-	var out Report
-	if err := json.Unmarshal(buf, &out); err != nil {
-		t.Fatalf("unmarshal into Report: %v", err)
+	inner := cell["cell"].(map[string]any)
+	for _, key := range []string{"experiment", "kind", "variant", "op", "ops", "seed"} {
+		if _, ok := inner[key]; !ok {
+			t.Errorf("cell spec JSON key %q missing", key)
+		}
 	}
-	if out.Cells[0] != in.Cells[0] || out.Tool != in.Tool || out.Go != in.Go {
-		t.Errorf("round trip changed the document: %+v != %+v", out, in)
+
+	var out experiment.GateReport
+	if err := json.Unmarshal(buf, &out); err != nil {
+		t.Fatalf("unmarshal into GateReport: %v", err)
+	}
+	if out.Tool != in.Tool || out.Gate != in.Gate || out.Cells[0].Value != in.Cells[0].Value {
+		t.Errorf("round trip changed the document")
 	}
 }

@@ -1,0 +1,204 @@
+// Command expgrid is the config-driven front door to the experiment
+// grid: it loads the grid spec (embedded by default, -spec to override),
+// runs the requested experiments or the experiments behind the requested
+// gates, evaluates each gate's declarative threshold, writes the
+// canonical per-gate reports under -out, and — with -trajectory —
+// appends the gate metrics to the cross-PR perf ledger and fails on
+// configured regressions against the previous entry.
+//
+//	expgrid -list                             # show the grid
+//	expgrid -experiments fig5c -scale smoke   # run one experiment
+//	expgrid -scale small                      # run + judge every gate
+//	expgrid -scale small -trajectory          # ... and append/diff the ledger
+//
+// Every failure prints the copy-pasteable repro command for the exact
+// cells behind the verdict.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		specPath    = flag.String("spec", "", "grid spec JSON (empty = embedded default)")
+		scale       = flag.String("scale", "small", "scale tier: smoke|small|full")
+		seed        = flag.Uint64("seed", 1, "base workload seed (failures print it back as a repro command)")
+		experiments = flag.String("experiments", "", "comma-separated experiment names to run (empty = the experiments behind -gates)")
+		gates       = flag.String("gates", "", "comma-separated gate names to judge (empty = all gates; ignored when -experiments is set)")
+		out         = flag.String("out", "results", "directory for grid + gate reports (empty = no files)")
+		trajectory  = flag.Bool("trajectory", false, "append gate metrics to the trajectory ledger and fail on configured regressions")
+		trajFile    = flag.String("trajfile", "", "trajectory ledger path (default <out>/BENCH_trajectory.json)")
+		mdOut       = flag.String("mdout", "", "append a markdown gate summary here (for CI job summaries)")
+		list        = flag.Bool("list", false, "print the grid spec summary and exit")
+	)
+	flag.Parse()
+
+	spec, err := experiment.LoadSpec(*specPath)
+	if err != nil {
+		fatal(2, err)
+	}
+	if *list {
+		printSpec(spec)
+		return
+	}
+
+	selected, err := spec.SelectGates(*gates)
+	if err != nil {
+		fatal(2, err)
+	}
+	var names []string
+	judge := true
+	if strings.TrimSpace(*experiments) != "" {
+		for _, n := range strings.Split(*experiments, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+		judge = false
+	} else {
+		names = experiment.GateExperiments(selected)
+	}
+
+	opt := experiment.Options{
+		Scale: *scale,
+		Seed:  *seed,
+		Progress: func(format string, args ...any) {
+			fmt.Printf("expgrid: "+format+"\n", args...)
+		},
+	}
+	grid, err := spec.Run(names, opt)
+	if err != nil {
+		fatal(1, err)
+	}
+
+	rec := &harness.Recorder{}
+	for _, row := range experiment.Rows(grid) {
+		rec.Add(row)
+	}
+	if err := rec.WriteText(os.Stdout); err != nil {
+		fatal(1, err)
+	}
+	if *out != "" {
+		if err := experiment.WriteJSON(filepath.Join(*out, "expgrid.json"), grid); err != nil {
+			fatal(1, err)
+		}
+	}
+	if !judge {
+		return
+	}
+
+	failed := 0
+	var results []experiment.GateResult
+	for _, g := range selected {
+		res, err := g.Eval(grid)
+		if err != nil {
+			fatal(1, err)
+		}
+		results = append(results, res)
+		if *out != "" {
+			if err := experiment.WriteGateReport(*out, "expgrid", grid, g, res); err != nil {
+				fatal(1, err)
+			}
+		}
+		switch {
+		case res.Skipped:
+			fmt.Printf("expgrid: gate %-18s SKIP — %s (%s)\n", res.Name, res.SkipReason, res.Detail)
+		case res.Pass:
+			fmt.Printf("expgrid: gate %-18s PASS — %s\n", res.Name, res.Detail)
+		default:
+			failed++
+			fmt.Fprintf(os.Stderr, "expgrid: gate %-18s FAIL — %s\n", res.Name, res.Detail)
+			fmt.Fprintf(os.Stderr, "expgrid: reproduce with: %s\n", experiment.ReproCommand(g, grid))
+		}
+	}
+
+	var regs []experiment.Regression
+	if *trajectory {
+		path := *trajFile
+		if path == "" {
+			dir := *out
+			if dir == "" {
+				dir = "results"
+			}
+			path = filepath.Join(dir, "BENCH_trajectory.json")
+		}
+		traj, err := experiment.LoadTrajectory(path)
+		if err != nil {
+			fatal(1, err)
+		}
+		cur := experiment.TrajectoryEntry{Env: grid.Env, Scale: grid.Scale, Seed: grid.Seed, Gates: results}
+		prev := traj.Append(cur)
+		if prev != nil && prev.Scale != cur.Scale {
+			fmt.Printf("expgrid: previous trajectory entry ran at scale %q, this one at %q — recording without regression comparison\n",
+				prev.Scale, cur.Scale)
+		}
+		if prev != nil && prev.Scale == cur.Scale {
+			regs = experiment.CompareGates(spec, prev.Gates, results)
+		}
+		fmt.Print(experiment.RenderComparison(prev, cur, regs))
+		if err := traj.Save(path); err != nil {
+			fatal(1, err)
+		}
+		fmt.Printf("expgrid: trajectory updated at %s (%d entries)\n", path, len(traj.Entries))
+		for _, r := range regs {
+			g := spec.Gate(r.Gate)
+			fmt.Fprintf(os.Stderr, "expgrid: REGRESSION %s\n", r)
+			if g != nil {
+				fmt.Fprintf(os.Stderr, "expgrid: reproduce with: %s\n", experiment.ReproCommand(*g, grid))
+			}
+		}
+	}
+
+	if *mdOut != "" {
+		f, err := os.OpenFile(*mdOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(1, err)
+		}
+		_, werr := f.WriteString(experiment.MarkdownSummary(grid, results, regs))
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatal(1, werr)
+		}
+	}
+
+	if failed > 0 || len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "expgrid: %d gate(s) failed, %d regression(s)\n", failed, len(regs))
+		os.Exit(1)
+	}
+}
+
+func printSpec(spec *experiment.Spec) {
+	fmt.Println("scales:")
+	for _, name := range []string{"smoke", "small", "full"} {
+		if sc, ok := spec.Scales[name]; ok {
+			fmt.Printf("  %-6s ops=%d handoffs=%d repeats=%d trials=%d alloc_runs=%d recovery_seeds=%d\n",
+				name, sc.Ops, sc.Handoffs, sc.Repeats, sc.Trials, sc.AllocRuns, sc.RecoverySeeds)
+		}
+	}
+	fmt.Println("experiments:")
+	for _, ex := range spec.Experiments {
+		tag := ""
+		if ex.Paper {
+			tag = " [paper]"
+		}
+		fmt.Printf("  %-18s kind=%-10s variants=%d%s\n", ex.Name, ex.Kind, len(ex.Variants), tag)
+	}
+	fmt.Println("gates:")
+	for _, g := range spec.Gates {
+		fmt.Printf("  %-18s kind=%-9s experiment=%-18s threshold=%v out=%s\n",
+			g.Name, g.Kind, g.Experiment, g.Threshold, g.Out)
+	}
+}
+
+func fatal(code int, err error) {
+	fmt.Fprintln(os.Stderr, "expgrid:", err)
+	os.Exit(code)
+}

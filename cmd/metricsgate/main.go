@@ -1,137 +1,89 @@
-// Command metricsgate is the CI gate for metrics overhead: it runs the
-// BenchmarkThroughput workload (50/50 mix, uniform keys, prefilled) with
-// Config.Metrics disabled and enabled, interleaved over several rounds, and
-// fails when the best enabled throughput trails the best disabled throughput
-// by more than the threshold.
+// Command metricsgate is the thin front-end for the "metrics-overhead"
+// gate of the experiment grid: the interleaved best-of comparison of the
+// same workload with Config.Metrics disabled and enabled. The workload
+// shape and the overhead threshold live in the grid spec
+// (internal/experiment/experiments.json), not here; the build fails when
+// the best enabled throughput trails the best disabled throughput by
+// more than the spec's threshold.
 //
-// Best-of comparison is deliberate: scheduler noise and frequency scaling
-// only ever slow a round down, so the maximum over rounds is the least noisy
-// estimator of what each configuration can do. Interleaving (and alternating
-// which mode runs first each round) keeps slow drift — thermal throttling, a
-// busy neighbour — from landing entirely on one mode.
-//
-//	go run ./cmd/metricsgate -threshold 5 -out results/BENCH_metrics.json
+//	go run ./cmd/metricsgate -out results/BENCH_metrics.json
+//	go run ./cmd/metricsgate -seed 7      # reproduce a CI failure
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 
-	"repro/internal/core"
-	"repro/internal/harness"
-	"repro/internal/pq"
+	"repro/internal/experiment"
 )
 
-type roundResult struct {
-	Round     int     `json:"round"`
-	OffFirst  bool    `json:"off_first"`
-	OffOpsSec float64 `json:"off_ops_per_sec"`
-	OnOpsSec  float64 `json:"on_ops_per_sec"`
-}
-
-type report struct {
-	Tool         string                 `json:"tool"`
-	Go           string                 `json:"go"`
-	Spec         harness.ThroughputSpec `json:"spec"`
-	Rounds       []roundResult          `json:"rounds"`
-	BestOff      float64                `json:"best_off_ops_per_sec"`
-	BestOn       float64                `json:"best_on_ops_per_sec"`
-	OverheadPct  float64                `json:"overhead_pct"`
-	ThresholdPct float64                `json:"threshold_pct"`
-	Pass         bool                   `json:"pass"`
-	OnMetrics    *core.MetricsSnapshot  `json:"on_metrics,omitempty"`
-}
+const gateName = "metrics-overhead"
 
 func main() {
 	var (
-		rounds    = flag.Int("rounds", 7, "paired measurement rounds")
-		ops       = flag.Int("ops", 400_000, "operations per round per mode")
-		threads   = flag.Int("threads", 4, "worker goroutines")
-		mix       = flag.Int("mix", 50, "insert percentage of the mix")
-		threshold = flag.Float64("threshold", 5, "max tolerated overhead, percent")
-		out       = flag.String("out", "results/BENCH_metrics.json", "report path (empty = stdout only)")
+		specPath = flag.String("spec", "", "grid spec JSON (empty = embedded default)")
+		scale    = flag.String("scale", "small", "scale tier: smoke|small|full (sets the round count)")
+		rounds   = flag.Int("rounds", 7, "paired measurement rounds (0 = scale default)")
+		ops      = flag.Int("ops", 0, "operations per round per mode (0 = spec default)")
+		threads  = flag.Int("threads", 0, "worker goroutines (0 = spec default)")
+		seed     = flag.Uint64("seed", 1, "base workload seed (failures print it back as a repro command)")
+		out      = flag.String("out", "results/BENCH_metrics.json", "report path (empty = stdout only)")
 	)
 	flag.Parse()
 
-	spec := harness.ThroughputSpec{
-		Threads:   *threads,
-		TotalOps:  *ops,
-		InsertPct: harness.Mix(*mix),
-		Keys:      harness.Uniform20,
-		Prefill:   *ops,
+	spec, err := experiment.LoadSpec(*specPath)
+	if err != nil {
+		fatal(2, err)
 	}
-	run := func(metrics bool, seed uint64) harness.ThroughputResult {
-		s := spec
-		s.Seed = seed
-		return harness.RunThroughput(func(int) pq.Queue {
-			cfg := core.DefaultConfig()
-			if metrics {
-				cfg.Metrics = core.NewMetrics()
-			}
-			return harness.NewZMSQ(cfg)
-		}, s)
+	g := spec.Gate(gateName)
+	if g == nil {
+		fatal(2, fmt.Errorf("spec has no %q gate", gateName))
 	}
 
-	rep := report{
-		Tool:         "metricsgate",
-		Go:           runtime.Version(),
-		Spec:         spec,
-		ThresholdPct: *threshold,
+	opt := experiment.Options{
+		Scale:   *scale,
+		Seed:    *seed,
+		Ops:     *ops,
+		Repeats: *rounds,
+		Progress: func(format string, args ...any) {
+			fmt.Printf("metricsgate: "+format+"\n", args...)
+		},
 	}
-	// Warm-up round: page in the binary, spin up the scheduler. Discarded.
-	run(false, 0xdead)
-
-	var lastOn harness.ThroughputResult
-	for i := 0; i < *rounds; i++ {
-		seed := uint64(i + 1)
-		offFirst := i%2 == 0
-		var off, on harness.ThroughputResult
-		if offFirst {
-			off, on = run(false, seed), run(true, seed)
-		} else {
-			on, off = run(true, seed), run(false, seed)
-		}
-		lastOn = on
-		rr := roundResult{Round: i, OffFirst: offFirst,
-			OffOpsSec: off.OpsPerSec(), OnOpsSec: on.OpsPerSec()}
-		rep.Rounds = append(rep.Rounds, rr)
-		if rr.OffOpsSec > rep.BestOff {
-			rep.BestOff = rr.OffOpsSec
-		}
-		if rr.OnOpsSec > rep.BestOn {
-			rep.BestOn = rr.OnOpsSec
-		}
-		fmt.Printf("metricsgate: round %d  off=%.2f Mops/s  on=%.2f Mops/s\n",
-			i, rr.OffOpsSec/1e6, rr.OnOpsSec/1e6)
+	if *threads > 0 {
+		opt.Threads = []int{*threads}
 	}
-	rep.OnMetrics = lastOn.Metrics
-	if rep.BestOff > 0 {
-		rep.OverheadPct = 100 * (rep.BestOff - rep.BestOn) / rep.BestOff
+	grid, err := spec.Run([]string{g.Experiment}, opt)
+	if err != nil {
+		fatal(1, err)
 	}
-	rep.Pass = rep.OverheadPct <= *threshold
-
+	res, err := g.Eval(grid)
+	if err != nil {
+		fatal(1, err)
+	}
 	if *out != "" {
-		if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "metricsgate:", err)
-			os.Exit(1)
+		gg := *g
+		dir, file := filepath.Split(*out)
+		gg.Out = file
+		if dir == "" {
+			dir = "."
 		}
-		buf, _ := json.MarshalIndent(rep, "", "  ")
-		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "metricsgate:", err)
-			os.Exit(1)
+		if err := experiment.WriteGateReport(dir, "metricsgate", grid, gg, res); err != nil {
+			fatal(1, err)
 		}
 	}
 
-	fmt.Printf("metricsgate: best off=%.2f Mops/s  on=%.2f Mops/s  overhead=%.2f%% (threshold %.1f%%)\n",
-		rep.BestOff/1e6, rep.BestOn/1e6, rep.OverheadPct, *threshold)
-	if !rep.Pass {
-		fmt.Fprintf(os.Stderr, "metricsgate: FAIL — metrics overhead %.2f%% exceeds %.1f%%\n",
-			rep.OverheadPct, *threshold)
+	fmt.Printf("metricsgate: %s\n", res.Detail)
+	if !res.Pass {
+		fmt.Fprintf(os.Stderr, "metricsgate: FAIL — metrics overhead %.2f%% exceeds %.1f%%\n", res.Value, res.Threshold)
+		fmt.Fprintf(os.Stderr, "metricsgate: reproduce with: go run ./cmd/metricsgate -scale %s -seed %d\n", grid.Scale, grid.Seed)
 		os.Exit(1)
 	}
 	fmt.Println("metricsgate: PASS")
+}
+
+func fatal(code int, err error) {
+	fmt.Fprintln(os.Stderr, "metricsgate:", err)
+	os.Exit(code)
 }

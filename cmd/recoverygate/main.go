@@ -1,11 +1,11 @@
-// Command recoverygate is the crash-recovery CI gate: it sweeps seeded
-// crash scenarios — every crash kind (mid-append, mid-fsync,
-// mid-snapshot, torn tail) against both the single queue and the sharded
-// front-end — and for each one crashes a durable workload at the
-// injected point, recovers from the surviving bytes, and fails the build
-// unless the recovered state conserves every acknowledged operation
-// (acked inserts present, acked extracts absent, unacked operations
-// free to have landed either way; see internal/contract.VerifyRecovery).
+// Command recoverygate is the thin front-end for the "recovery" gate of
+// the experiment grid: it sweeps seeded crash scenarios — every crash
+// kind (mid-append, mid-fsync, mid-snapshot, torn tail) against both the
+// single queue and the sharded front-end — and for each one crashes a
+// durable workload at the injected point, recovers from the surviving
+// bytes, and fails the build unless the recovered state conserves every
+// acknowledged operation (see internal/contract.VerifyRecovery). The
+// queue configuration and sharded shape live in the grid spec.
 //
 // The JSON report also records the group-commit amortization (logged
 // operations per fsync) observed in each scenario, so the cost side of
@@ -13,113 +13,85 @@
 //
 //	go run ./cmd/recoverygate -out results/BENCH_recovery.json
 //	go run ./cmd/recoverygate -seeds 5 -shards 4
+//	go run ./cmd/recoverygate -seed 7      # reproduce a CI failure
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 
-	"repro/internal/core"
-	"repro/internal/harness"
-	"repro/internal/locks"
+	"repro/internal/experiment"
 )
 
-type scenario struct {
-	harness.RecoveryResult
-	// OpsPerSync is the group-commit amortization: logged operations per
-	// completed fsync at the crash moment.
-	OpsPerSync float64 `json:"ops_per_sync"`
-	Pass       bool    `json:"pass"`
-	Error      string  `json:"error,omitempty"`
-}
-
-type report struct {
-	Tool      string     `json:"tool"`
-	Go        string     `json:"go"`
-	Seeds     int        `json:"seeds"`
-	Shards    int        `json:"shards"`
-	Scenarios []scenario `json:"scenarios"`
-	Passed    int        `json:"passed"`
-	Failed    int        `json:"failed"`
-	// TotalAtRisk sums, over all scenarios, the number of keys whose
-	// survival was legitimately undetermined at the crash (unacked ops).
-	TotalAtRisk int `json:"total_at_risk"`
-}
+const gateName = "recovery"
 
 func main() {
 	var (
-		seed   = flag.Uint64("seed", 1, "base seed; each scenario offsets from it")
-		seeds  = flag.Int("seeds", 3, "seeds per (kind, shape) pair")
-		shards = flag.Int("shards", 4, "shard count for the sharded shape")
-		batch  = flag.Int("batch", 8, "queue batch (relaxation) parameter")
-		out    = flag.String("out", "results/BENCH_recovery.json", "report path (empty = stdout only)")
+		specPath = flag.String("spec", "", "grid spec JSON (empty = embedded default)")
+		scale    = flag.String("scale", "small", "scale tier: smoke|small|full (sets the seed count)")
+		seed     = flag.Uint64("seed", 1, "base seed; each scenario offsets from it (failures print it back as a repro command)")
+		seeds    = flag.Int("seeds", 3, "seeds per (kind, shape) pair (0 = scale default)")
+		shards   = flag.Int("shards", 0, "shard count for the sharded shape (0 = spec default)")
+		out      = flag.String("out", "results/BENCH_recovery.json", "report path (empty = stdout only)")
 	)
 	flag.Parse()
 
-	rep := report{Tool: "recoverygate", Go: runtime.Version(), Seeds: *seeds, Shards: *shards}
+	spec, err := experiment.LoadSpec(*specPath)
+	if err != nil {
+		fatal(2, err)
+	}
+	g := spec.Gate(gateName)
+	if g == nil {
+		fatal(2, fmt.Errorf("spec has no %q gate", gateName))
+	}
 
-	fmt.Printf("%-12s %-13s %-6s %9s %9s %9s %7s %9s %9s\n",
-		"queue", "kind", "seed", "inserted", "extracted", "recovered", "atrisk", "lost-B", "ops/sync")
-	for _, shape := range []int{1, *shards} {
-		for _, kind := range harness.Kinds() {
-			for s := 0; s < *seeds; s++ {
-				dir, err := os.MkdirTemp("", "recoverygate-*")
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "recoverygate:", err)
-					os.Exit(2)
-				}
-				plan := harness.RecoveryPlan{
-					Seed:   *seed + uint64(s),
-					Kind:   kind,
-					Shards: shape,
-					Dir:    dir,
-					Queue:  core.Config{Batch: *batch, TargetLen: 8, Lock: locks.TATAS},
-				}
-				res, err := harness.RunRecovery(plan)
-				os.RemoveAll(dir)
+	opt := experiment.Options{
+		Scale:   *scale,
+		Seed:    *seed,
+		Repeats: *seeds,
+		Shards:  *shards,
+		Progress: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	}
+	grid, err := spec.Run([]string{g.Experiment}, opt)
+	if err != nil {
+		fatal(1, err)
+	}
+	res, err := g.Eval(grid)
+	if err != nil {
+		fatal(1, err)
+	}
+	if *out != "" {
+		gg := *g
+		dir, file := filepath.Split(*out)
+		gg.Out = file
+		if dir == "" {
+			dir = "."
+		}
+		if err := experiment.WriteGateReport(dir, "recoverygate", grid, gg, res); err != nil {
+			fatal(1, err)
+		}
+	}
 
-				sc := scenario{RecoveryResult: res, Pass: err == nil}
-				if res.Stats.Syncs > 0 {
-					sc.OpsPerSync = float64(res.Stats.Ops) / float64(res.Stats.Syncs)
-				}
-				if err != nil {
-					sc.Error = err.Error()
-					rep.Failed++
-					fmt.Fprintf(os.Stderr, "FAIL %s/%s seed=%d: %v\n", res.Name, res.Kind, plan.Seed, err)
-					for _, v := range res.Report.Violations {
-						fmt.Fprintf(os.Stderr, "  violation: %s\n", v)
-					}
-				} else {
-					rep.Passed++
-				}
-				rep.TotalAtRisk += res.Report.AtRisk
-				rep.Scenarios = append(rep.Scenarios, sc)
-				fmt.Printf("%-12s %-13s %-6d %9d %9d %9d %7d %9d %9.1f\n",
-					res.Name, res.Kind, plan.Seed, res.Inserted, res.Extracted,
-					res.Recovered, res.Report.AtRisk, res.Crash.LostBytes, sc.OpsPerSync)
+	fmt.Printf("recoverygate: %s\n", res.Detail)
+	if !res.Pass {
+		for _, c := range grid.Cells {
+			if c.Error != "" {
+				fmt.Fprintf(os.Stderr, "recoverygate: FAIL %s/%s seed=%d: %s\n",
+					c.Cell.Variant, c.Cell.CrashKind, c.Cell.Seed, c.Error)
 			}
 		}
-	}
-
-	if *out != "" {
-		if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "recoverygate:", err)
-			os.Exit(2)
-		}
-		buf, _ := json.MarshalIndent(rep, "", "  ")
-		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "recoverygate:", err)
-			os.Exit(2)
-		}
-	}
-
-	fmt.Printf("recoverygate: %d scenarios, %d passed, %d failed, %d keys at risk across all crashes\n",
-		len(rep.Scenarios), rep.Passed, rep.Failed, rep.TotalAtRisk)
-	if rep.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "recoverygate: reproduce with: go run ./cmd/recoverygate -scale %s -seed %d -seeds %d\n",
+			grid.Scale, grid.Seed, *seeds)
 		os.Exit(1)
 	}
+	fmt.Println("recoverygate: PASS")
+}
+
+func fatal(code int, err error) {
+	fmt.Fprintln(os.Stderr, "recoverygate:", err)
+	os.Exit(code)
 }

@@ -1,8 +1,10 @@
-// Command runall executes the complete reproduction suite — every table
-// and figure — writing aligned-text reports and a combined CSV under a
-// results directory. It is the one-command path from a fresh checkout to
-// the data behind EXPERIMENTS.md.
+// Command runall executes the complete reproduction suite — every
+// paper-flagged experiment of the grid spec, plus the SSSP application
+// study — writing aligned-text reports, a combined CSV, and the
+// canonical grid JSON under a results directory. It is the one-command
+// path from a fresh checkout to the data behind EXPERIMENTS.md.
 //
+//	runall -out results -scale smoke   # seconds; schema/shape check
 //	runall -out results -scale small   # minutes; shapes only
 //	runall -out results -scale full    # the paper's operation counts
 package main
@@ -12,56 +14,72 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/graph"
 	"repro/internal/harness"
-	"repro/internal/locks"
 	"repro/internal/pq"
 	"repro/internal/sssp"
 )
 
-type scale struct {
-	ops      int
-	handoffs int
-	trials   int
-	ljScale  int
-	artist   bool
-}
-
-var scales = map[string]scale{
-	"small": {ops: 200_000, handoffs: 100_000, trials: 3, ljScale: 14, artist: false},
-	"full":  {ops: 2_000_000, handoffs: 1_000_000, trials: 15, ljScale: 18, artist: true},
-}
-
 func main() {
 	var (
+		specPath  = flag.String("spec", "", "grid spec JSON (empty = embedded default)")
 		out       = flag.String("out", "results", "output directory")
-		scaleName = flag.String("scale", "small", "small|full")
+		scaleName = flag.String("scale", "small", "smoke|small|full")
 		seed      = flag.Uint64("seed", 1, "base seed")
 	)
 	flag.Parse()
-	sc, ok := scales[*scaleName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+
+	spec, err := experiment.LoadSpec(*specPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "runall:", err)
 		os.Exit(2)
 	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	sc, ok := spec.Scales[*scaleName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "runall: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	opt := experiment.Options{
+		Scale: *scaleName,
+		Seed:  *seed,
+		Progress: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	}
+	grid, err := runGrid(spec, spec.PaperExperiments(), opt, *out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "runall:", err)
 		os.Exit(1)
 	}
+	step("fig7+8", func() { runSSSP(sc, *seed, *out) })
+	fmt.Printf("wrote %d cells to %s/runall.{txt,csv} and %s/expgrid.json\n",
+		len(grid.Cells), *out, *out)
+}
 
+// runGrid runs the named experiments and writes the three report forms:
+// aligned text (runall.txt), CSV (runall.csv), and the canonical grid
+// JSON (expgrid.json). Split from main so the smoke test can validate
+// the emitted files against the canonical schema without shelling out.
+func runGrid(spec *experiment.Spec, names []string, opt experiment.Options, out string) (*experiment.GridResult, error) {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return nil, err
+	}
+	var grid *experiment.GridResult
+	var err error
+	step("grid("+opt.Scale+")", func() {
+		grid, err = spec.Run(names, opt)
+	})
+	if err != nil {
+		return nil, err
+	}
 	rec := &harness.Recorder{}
-	threads := threadSweep()
-
-	step("table1", func() { runTable1(rec, sc, *seed) })
-	step("fig2+3+5", func() { runThroughputFigs(rec, sc, threads, *seed) })
-	step("fig4", func() { runFig4(rec, sc, *seed) })
-	step("fig6", func() { runFig6(rec, sc, *seed) })
-	step("fig7+8", func() { runSSSP(rec, sc, threads, *seed, *out) })
-
-	txt, err := os.Create(filepath.Join(*out, "runall.txt"))
+	for _, row := range experiment.Rows(grid) {
+		rec.Add(row)
+	}
+	txt, err := os.Create(filepath.Join(out, "runall.txt"))
 	if err == nil {
 		err = rec.WriteText(txt)
 		if cerr := txt.Close(); err == nil {
@@ -69,10 +87,9 @@ func main() {
 		}
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "write text:", err)
-		os.Exit(1)
+		return nil, fmt.Errorf("write text: %w", err)
 	}
-	csvf, err := os.Create(filepath.Join(*out, "runall.csv"))
+	csvf, err := os.Create(filepath.Join(out, "runall.csv"))
 	if err == nil {
 		err = rec.WriteCSV(csvf)
 		if cerr := csvf.Close(); err == nil {
@@ -80,10 +97,12 @@ func main() {
 		}
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "write csv:", err)
-		os.Exit(1)
+		return nil, fmt.Errorf("write csv: %w", err)
 	}
-	fmt.Printf("wrote %d rows to %s/runall.{txt,csv}\n", len(rec.Rows()), *out)
+	if err := experiment.WriteJSON(filepath.Join(out, "expgrid.json"), grid); err != nil {
+		return nil, err
+	}
+	return grid, nil
 }
 
 func step(name string, f func()) {
@@ -91,143 +110,17 @@ func step(name string, f func()) {
 	f()
 }
 
-func threadSweep() []int {
-	max := runtime.GOMAXPROCS(0)
-	sweep := []int{1}
-	for t := 2; t <= max*2 && t <= 16; t *= 2 {
-		sweep = append(sweep, t)
-	}
-	return sweep
-}
-
-func runTable1(rec *harness.Recorder, sc scale, seed uint64) {
-	cells := harness.AccuracyCells()
-
-	specs := []harness.AccuracySpec{
-		{QueueSize: 1024, Extracts: 102},
-		{QueueSize: 1024, Extracts: 512},
-		{QueueSize: 65536, Extracts: 65},
-		{QueueSize: 65536, Extracts: 655},
-		{QueueSize: 65536, Extracts: 6553},
-	}
-	for _, spec := range specs {
-		for _, c := range cells {
-			hits, failures := 0.0, 0.0
-			for trial := 0; trial < sc.trials; trial++ {
-				spec.Seed = seed + uint64(trial)*977
-				res := harness.RunAccuracy(c.Mk, c.Threads, spec)
-				hits += res.HitRate()
-				failures += float64(res.Failures)
-			}
-			avg := harness.AccuracyResult{
-				Spec:  spec,
-				Queue: c.Name,
-				Hits:  int(hits / float64(sc.trials) * float64(spec.Extracts)),
-			}
-			rec.AddAccuracy("table1", avg)
-			_ = failures
-		}
-	}
-}
-
-// tcell is one throughput-figure curve: a display name plus a queue
-// constructor parameterized by thread count.
-type tcell struct {
-	name string
-	mk   func(t int) pq.Queue
-}
-
-func runThroughputFigs(rec *harness.Recorder, sc scale, threads []int, seed uint64) {
-	zmsqCfg := func(cfg core.Config) func(int) pq.Queue {
-		return func(int) pq.Queue { return harness.NewZMSQ(cfg) }
-	}
-	figs := []struct {
-		id      string
-		mix     harness.Mix
-		prefill bool
-		cells   []tcell
-	}{
-		{"fig2a", 100, false, []tcell{
-			{"std", zmsqCfg(core.Config{Batch: 32, TargetLen: 32, Lock: locks.Std, NoTryLock: true})},
-			{"tas", zmsqCfg(core.Config{Batch: 32, TargetLen: 32, Lock: locks.TAS})},
-			{"tatas", zmsqCfg(core.Config{Batch: 32, TargetLen: 32, Lock: locks.TATAS})},
-		}},
-		{"fig2b", 50, true, []tcell{
-			{"std", zmsqCfg(core.Config{Batch: 32, TargetLen: 32, Lock: locks.Std, NoTryLock: true})},
-			{"tas", zmsqCfg(core.Config{Batch: 32, TargetLen: 32, Lock: locks.TAS})},
-			{"tatas", zmsqCfg(core.Config{Batch: 32, TargetLen: 32, Lock: locks.TATAS})},
-		}},
-		{"fig3b", 50, true, []tcell{
-			{"dyn1:1.5", func(t int) pq.Queue {
-				return harness.NewZMSQ(core.Config{Batch: t, TargetLen: t * 3 / 2})
-			}},
-			{"static32", zmsqCfg(core.Config{Batch: 32, TargetLen: 32})},
-			{"static64", zmsqCfg(core.Config{Batch: 64, TargetLen: 64})},
-			{"mound", harness.Makers()["mound"]},
-		}},
-		{"fig5a", 100, false, fig5Cells()},
-		{"fig5b", 66, false, fig5Cells()},
-		{"fig5c", 50, false, fig5Cells()},
-	}
-	for _, fig := range figs {
-		for _, t := range threads {
-			for _, c := range fig.cells {
-				prefill := 0
-				if fig.prefill {
-					prefill = sc.ops
-				}
-				res := harness.RunThroughput(func(int) pq.Queue { return c.mk(t) },
-					harness.ThroughputSpec{
-						Threads: t, TotalOps: sc.ops, InsertPct: fig.mix,
-						Keys: harness.Normal20, Prefill: prefill, Seed: seed,
-					})
-				res.Queue = c.name
-				rec.AddThroughput(fig.id, res)
-			}
-		}
-	}
-}
-
-func fig5Cells() []tcell {
-	cells := harness.Fig5Cells(nil)
-	out := make([]tcell, len(cells))
-	for i, c := range cells {
-		out[i] = tcell{c.Name, c.Mk}
-	}
-	return out
-}
-
-func runFig4(rec *harness.Recorder, sc scale, seed uint64) {
-	cfg := core.DefaultConfig()
-	cfg.Batch = 32
-	for _, consumers := range []int{2, 8, 32, 64, 128} {
-		for _, blocking := range []bool{false, true} {
-			res := harness.RunHandoffZMSQ(cfg, blocking, harness.HandoffSpec{
-				Producers: 4, Consumers: consumers, TotalItems: sc.handoffs, Seed: seed,
-			})
-			rec.AddHandoff("fig4", res)
-		}
-	}
-}
-
-func runFig6(rec *harness.Recorder, sc scale, seed uint64) {
-	makers := harness.Makers()
-	for _, qn := range []string{"zmsq", "mound", "spraylist"} {
-		for _, rt := range [][2]int{{4, 4}, {2, 4}, {1, 4}, {4, 2}} {
-			res := harness.RunHandoff(makers[qn], harness.HandoffSpec{
-				Producers: rt[0], Consumers: rt[1], TotalItems: sc.handoffs, Seed: seed,
-			})
-			rec.AddHandoff("fig6", res)
-		}
-	}
-}
-
-func runSSSP(rec *harness.Recorder, sc scale, threads []int, seed uint64, out string) {
+// runSSSP is the application study (Figures 7–8): parallel SSSP over the
+// repo's graph corpus, verified against a sequential Dijkstra oracle.
+// It stays outside the grid — its cells are (graph, queue, workers)
+// products with a correctness check, not a harness entry point — but
+// reads its sizing (lj_scale, artist) from the same scale tier.
+func runSSSP(sc experiment.Scale, seed uint64, out string) {
 	graphs := map[string]*graph.Graph{
 		"politician":  graph.Politician(seed),
-		"livejournal": graph.LiveJournalScaled(sc.ljScale, seed),
+		"livejournal": graph.LiveJournalScaled(sc.LJScale, seed),
 	}
-	if sc.artist {
+	if sc.Artist {
 		graphs["artist"] = graph.Artist(seed)
 	}
 	cells := map[string]harness.QueueMaker{
@@ -245,7 +138,7 @@ func runSSSP(rec *harness.Recorder, sc scale, threads []int, seed uint64, out st
 	defer f.Close()
 	for gname, g := range graphs {
 		oracle := graph.Dijkstra(g, 0)
-		for _, t := range threads {
+		for _, t := range threadSweep() {
 			for cname, mk := range cells {
 				res := sssp.Run(g, 0, mk(t), t)
 				okStr := "ok"
@@ -263,4 +156,8 @@ func runSSSP(rec *harness.Recorder, sc scale, threads []int, seed uint64, out st
 				gname, "delta-stepping", t, ds.Elapsed, 100*ds.WastedFraction())
 		}
 	}
+}
+
+func threadSweep() []int {
+	return experiment.DefaultSweep()
 }

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// TestSmokeGridArtifacts runs a slice of the paper grid at the smoke
+// scale through the same code path main uses and validates every emitted
+// artifact against the canonical schema — shape, not values. This is the
+// regression net for "a refactor silently changed the result files".
+func TestSmokeGridArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real (tiny) benchmark cells")
+	}
+	spec, err := experiment.LoadSpec("")
+	if err != nil {
+		t.Fatalf("LoadSpec: %v", err)
+	}
+	dir := t.TempDir()
+	// Two experiments cover three row shapes: throughput, accuracy via
+	// table1 would dominate runtime, so pair fig5c with the fig6 handoff.
+	names := []string{"fig5c", "fig6"}
+	grid, err := runGrid(spec, names, experiment.Options{Scale: "smoke", Seed: 1}, dir)
+	if err != nil {
+		t.Fatalf("runGrid: %v", err)
+	}
+	if err := experiment.ValidateGrid(grid); err != nil {
+		t.Fatalf("grid fails canonical schema: %v", err)
+	}
+
+	// expgrid.json must round-trip into the same canonical schema.
+	raw, err := os.ReadFile(filepath.Join(dir, "expgrid.json"))
+	if err != nil {
+		t.Fatalf("reading expgrid.json: %v", err)
+	}
+	var reread experiment.GridResult
+	if err := json.Unmarshal(raw, &reread); err != nil {
+		t.Fatalf("expgrid.json does not parse: %v", err)
+	}
+	if err := experiment.ValidateGrid(&reread); err != nil {
+		t.Fatalf("re-read grid fails canonical schema: %v", err)
+	}
+	if len(reread.Cells) != len(grid.Cells) {
+		t.Fatalf("expgrid.json has %d cells, run produced %d", len(reread.Cells), len(grid.Cells))
+	}
+
+	// runall.csv: header plus one record per cell, rectangular.
+	f, err := os.Open(filepath.Join(dir, "runall.csv"))
+	if err != nil {
+		t.Fatalf("opening runall.csv: %v", err)
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatalf("runall.csv does not parse: %v", err)
+	}
+	if len(records) != len(grid.Cells)+1 {
+		t.Fatalf("runall.csv has %d records, want %d (header + cells)", len(records), len(grid.Cells)+1)
+	}
+	header := records[0]
+	if header[0] != "experiment" || header[1] != "queue" {
+		t.Errorf("csv header starts %v, want [experiment queue ...]", header[:2])
+	}
+	cols := map[string]bool{}
+	for _, h := range header {
+		if cols[h] {
+			t.Errorf("csv header repeats column %q", h)
+		}
+		cols[h] = true
+	}
+	for _, want := range []string{"threads", "Mops/s", "producers", "consumers", "ns/handoff"} {
+		if !cols[want] {
+			t.Errorf("csv header lacks %q: %v", want, header)
+		}
+	}
+
+	// runall.txt: one line per cell.
+	txt, err := os.ReadFile(filepath.Join(dir, "runall.txt"))
+	if err != nil {
+		t.Fatalf("reading runall.txt: %v", err)
+	}
+	lines := 0
+	for _, b := range txt {
+		if b == '\n' {
+			lines++
+		}
+	}
+	if lines != len(grid.Cells) {
+		t.Errorf("runall.txt has %d lines, want %d", lines, len(grid.Cells))
+	}
+}

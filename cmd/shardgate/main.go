@@ -1,185 +1,109 @@
-// Command shardgate measures what the sharded front-end buys over a single
-// ZMSQ: it runs the BenchmarkThroughput workload (50/50 mix, uniform keys,
-// prefilled) against one default-config ZMSQ and against the sharded
-// front-end, interleaved over several rounds, and records the speedup in a
-// metricsgate-style JSON report.
+// Command shardgate is the thin front-end for the "sharded-speedup" gate
+// of the experiment grid: the interleaved best-of comparison of the
+// sharded front-end against a single default-config ZMSQ (50/50 mix,
+// uniform keys, prefilled). The workload shape, the speedup threshold
+// and the min-core skip rule all live in the grid spec
+// (internal/experiment/experiments.json), not here.
 //
-// Best-of comparison for the same reason as cmd/metricsgate: noise only
-// slows rounds down, so the per-mode maximum is the least noisy estimate,
-// and interleaving keeps drift from landing on one mode.
-//
-// The report records whether the speedup met the trajectory target
-// (default 1.3×). With -gate the run also judges: on a runner with at
-// least -mincores cores (default 8) the build fails when the speedup is
-// below -gatetarget (default 1.15×); on a smaller runner the gate is
-// SKIPPED — recorded as "gate_skipped": true in the JSON, never counted
-// as a pass — because a 2-core machine has too little parallelism for
-// the comparison to mean anything.
+// The report records whether the speedup met the spec's threshold. With
+// -gate the run also judges: on a runner with at least the spec's
+// min_cores the build fails when the speedup is below the threshold; on
+// a smaller runner the gate is SKIPPED — recorded as "skipped" in the
+// JSON, never counted as a verdict — because a 2-core machine has too
+// little parallelism for the comparison to mean anything.
 //
 //	go run ./cmd/shardgate -out results/BENCH_sharded.json
-//	go run ./cmd/shardgate -gate      # judge (or skip) by core count
+//	go run ./cmd/shardgate -gate           # judge (or skip) by core count
+//	go run ./cmd/shardgate -seed 7 -gate   # reproduce a CI failure
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 
-	"repro/internal/core"
-	"repro/internal/harness"
-	"repro/internal/pq"
-	"repro/internal/sharded"
+	"repro/internal/experiment"
 )
 
-type roundResult struct {
-	Round         int     `json:"round"`
-	SingleFirst   bool    `json:"single_first"`
-	SingleOpsSec  float64 `json:"single_ops_per_sec"`
-	ShardedOpsSec float64 `json:"sharded_ops_per_sec"`
-}
-
-type report struct {
-	Tool        string                 `json:"tool"`
-	Go          string                 `json:"go"`
-	Spec        harness.ThroughputSpec `json:"spec"`
-	Shards      int                    `json:"shards"`
-	Rounds      []roundResult          `json:"rounds"`
-	BestSingle  float64                `json:"best_single_ops_per_sec"`
-	BestSharded float64                `json:"best_sharded_ops_per_sec"`
-	Speedup     float64                `json:"speedup"`
-	Target      float64                `json:"target_speedup"`
-	Met         bool                   `json:"met"`
-	Gated       bool                   `json:"gated"`
-	// Gate verdict: on runners with >= MinCores cores a gated run fails
-	// below GateTarget; below that core count the gate is skipped — an
-	// explicit non-verdict, not a pass.
-	Cores       int     `json:"cores"`
-	MinCores    int     `json:"gate_min_cores"`
-	GateTarget  float64 `json:"gate_target"`
-	GateMet     bool    `json:"gate_met"`
-	GateSkipped bool    `json:"gate_skipped"`
-	// ShardedSnapshot is the last sharded round's merged+telemetry view,
-	// for post-hoc balance analysis.
-	ShardedSnapshot *sharded.Snapshot `json:"sharded_snapshot,omitempty"`
-}
+const gateName = "sharded-speedup"
 
 func main() {
-	defShards := runtime.GOMAXPROCS(0)
-	if defShards > 8 {
-		defShards = 8
-	}
 	var (
-		rounds     = flag.Int("rounds", 7, "paired measurement rounds")
-		ops        = flag.Int("ops", 400_000, "operations per round per mode")
-		threads    = flag.Int("threads", defShards, "worker goroutines")
-		shards     = flag.Int("shards", defShards, "shard count for the sharded mode")
-		mix        = flag.Int("mix", 50, "insert percentage of the mix")
-		target     = flag.Float64("target", 1.3, "recorded speedup target (sharded vs single)")
-		gate       = flag.Bool("gate", false, "judge the speedup: fail below -gatetarget on runners with >= -mincores cores, skip below that")
-		gateTarget = flag.Float64("gatetarget", 1.15, "minimum speedup a gated run must reach")
-		minCores   = flag.Int("mincores", 8, "minimum core count for the gate verdict to be meaningful")
-		out        = flag.String("out", "results/BENCH_sharded.json", "report path (empty = stdout only)")
+		specPath = flag.String("spec", "", "grid spec JSON (empty = embedded default)")
+		scale    = flag.String("scale", "small", "scale tier: smoke|small|full (sets the round count)")
+		rounds   = flag.Int("rounds", 7, "paired measurement rounds (0 = scale default)")
+		ops      = flag.Int("ops", 0, "operations per round per mode (0 = spec default)")
+		threads  = flag.Int("threads", 0, "worker goroutines (0 = spec default: min(GOMAXPROCS, 8))")
+		shards   = flag.Int("shards", 0, "shard count for the sharded mode (0 = spec default)")
+		seed     = flag.Uint64("seed", 1, "base workload seed (failures print it back as a repro command)")
+		gate     = flag.Bool("gate", false, "judge the speedup: fail below the spec threshold on runners with enough cores, skip below")
+		out      = flag.String("out", "results/BENCH_sharded.json", "report path (empty = stdout only)")
 	)
 	flag.Parse()
 
-	spec := harness.ThroughputSpec{
-		Threads:   *threads,
-		TotalOps:  *ops,
-		InsertPct: harness.Mix(*mix),
-		Keys:      harness.Uniform20,
-		Prefill:   *ops,
+	spec, err := experiment.LoadSpec(*specPath)
+	if err != nil {
+		fatal(2, err)
 	}
-	var lastSharded *harness.Sharded
-	run := func(shardedMode bool, seed uint64) harness.ThroughputResult {
-		s := spec
-		s.Seed = seed
-		return harness.RunThroughput(func(int) pq.Queue {
-			if shardedMode {
-				lastSharded = harness.NewSharded(sharded.Config{
-					Shards: *shards, Queue: core.DefaultConfig(),
-				})
-				return lastSharded
-			}
-			return harness.NewZMSQ(core.DefaultConfig())
-		}, s)
+	g := spec.Gate(gateName)
+	if g == nil {
+		fatal(2, fmt.Errorf("spec has no %q gate", gateName))
+	}
+	if *shards > 0 {
+		spec.Experiment(g.Experiment).Variants[1].Shards = *shards
 	}
 
-	rep := report{
-		Tool:       "shardgate",
-		Go:         runtime.Version(),
-		Spec:       spec,
-		Shards:     *shards,
-		Target:     *target,
-		Gated:      *gate,
-		Cores:      runtime.NumCPU(),
-		MinCores:   *minCores,
-		GateTarget: *gateTarget,
+	opt := experiment.Options{
+		Scale:   *scale,
+		Seed:    *seed,
+		Ops:     *ops,
+		Repeats: *rounds,
+		Progress: func(format string, args ...any) {
+			fmt.Printf("shardgate: "+format+"\n", args...)
+		},
 	}
-	// Warm-up round: page in the binary, spin up the scheduler. Discarded.
-	run(false, 0xdead)
-
-	for i := 0; i < *rounds; i++ {
-		seed := uint64(i + 1)
-		singleFirst := i%2 == 0
-		var single, shrd harness.ThroughputResult
-		if singleFirst {
-			single, shrd = run(false, seed), run(true, seed)
-		} else {
-			shrd, single = run(true, seed), run(false, seed)
-		}
-		rr := roundResult{Round: i, SingleFirst: singleFirst,
-			SingleOpsSec: single.OpsPerSec(), ShardedOpsSec: shrd.OpsPerSec()}
-		rep.Rounds = append(rep.Rounds, rr)
-		if rr.SingleOpsSec > rep.BestSingle {
-			rep.BestSingle = rr.SingleOpsSec
-		}
-		if rr.ShardedOpsSec > rep.BestSharded {
-			rep.BestSharded = rr.ShardedOpsSec
-		}
-		fmt.Printf("shardgate: round %d  single=%.2f Mops/s  sharded(%d)=%.2f Mops/s\n",
-			i, rr.SingleOpsSec/1e6, *shards, rr.ShardedOpsSec/1e6)
+	if *threads > 0 {
+		opt.Threads = []int{*threads}
 	}
-	if lastSharded != nil {
-		snap := lastSharded.ShardSnapshot()
-		rep.ShardedSnapshot = &snap
+	grid, err := spec.Run([]string{g.Experiment}, opt)
+	if err != nil {
+		fatal(1, err)
 	}
-	if rep.BestSingle > 0 {
-		rep.Speedup = rep.BestSharded / rep.BestSingle
+	res, err := g.Eval(grid)
+	if err != nil {
+		fatal(1, err)
 	}
-	rep.Met = rep.Speedup >= *target
-	rep.GateMet = rep.Speedup >= *gateTarget
-	rep.GateSkipped = *gate && rep.Cores < *minCores
-
 	if *out != "" {
-		if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "shardgate:", err)
-			os.Exit(1)
+		gg := *g
+		dir, file := filepath.Split(*out)
+		gg.Out = file
+		if dir == "" {
+			dir = "."
 		}
-		buf, _ := json.MarshalIndent(rep, "", "  ")
-		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "shardgate:", err)
-			os.Exit(1)
+		if err := experiment.WriteGateReport(dir, "shardgate", grid, gg, res); err != nil {
+			fatal(1, err)
 		}
 	}
 
-	fmt.Printf("shardgate: best single=%.2f Mops/s  sharded(%d)=%.2f Mops/s  speedup=%.2fx (target %.2fx, %s)\n",
-		rep.BestSingle/1e6, *shards, rep.BestSharded/1e6, rep.Speedup, *target,
-		map[bool]string{true: "met", false: "missed"}[rep.Met])
+	fmt.Printf("shardgate: %s\n", res.Detail)
 	if !*gate {
 		return
 	}
-	if rep.GateSkipped {
-		fmt.Printf("shardgate: SKIP — gate needs >= %d cores, this runner has %d; speedup %.2fx recorded but not judged\n",
-			*minCores, rep.Cores, rep.Speedup)
-		return
-	}
-	if !rep.GateMet {
-		fmt.Fprintf(os.Stderr, "shardgate: FAIL — speedup %.2fx below gate target %.2fx on a %d-core runner\n",
-			rep.Speedup, *gateTarget, rep.Cores)
+	switch {
+	case res.Skipped:
+		fmt.Printf("shardgate: SKIP — %s; speedup %.2fx recorded but not judged\n", res.SkipReason, res.Value)
+	case !res.Pass:
+		fmt.Fprintf(os.Stderr, "shardgate: FAIL — %s\n", res.Detail)
+		fmt.Fprintf(os.Stderr, "shardgate: reproduce with: go run ./cmd/shardgate -gate -scale %s -seed %d\n", grid.Scale, grid.Seed)
 		os.Exit(1)
+	default:
+		fmt.Printf("shardgate: gate PASS — speedup %.2fx >= %.2fx on a %d-core runner\n",
+			res.Value, res.Threshold, grid.Env.Cores)
 	}
-	fmt.Printf("shardgate: gate PASS — speedup %.2fx >= %.2fx on a %d-core runner\n", rep.Speedup, *gateTarget, rep.Cores)
+}
+
+func fatal(code int, err error) {
+	fmt.Fprintln(os.Stderr, "shardgate:", err)
+	os.Exit(code)
 }

@@ -1,4 +1,5 @@
-// Command zmsqbench regenerates the paper's throughput figures:
+// Command zmsqbench regenerates the paper's throughput figures — one
+// experiment of the grid spec (internal/experiment) per invocation:
 //
 //	Figure 2 (a,b): lock implementations (std / TAS / TATAS trylocks)
 //	Figure 3 (a,b): batch & targetLen configurations vs the mound
@@ -7,14 +8,13 @@
 // plus two repo-local experiments beyond the paper:
 //
 //	batch:   the InsertBatch/ExtractBatch API at several batch-call sizes
-//	         against the per-operation loop (batchsize=1), 50/50 mix on a
-//	         prefilled queue (see EXPERIMENTS.md "Batch API mode")
-//	sharded: the internal/sharded front-end across shard counts (-shards),
-//	         50/50 mix on a prefilled queue; shards=1 is the single-queue
-//	         reference. With -metricsout each row carries the merged
-//	         cross-shard metrics snapshot.
+//	         against the per-operation loop (batchsize=1)
+//	sharded: the internal/sharded front-end across shard counts
 //
-// Each experiment prints one row per (queue, thread-count) cell:
+// The cells — configurations, key distributions, mixes — live in the
+// grid spec, not here; this binary only selects the experiment, applies
+// thread/ops overrides, and carries the live-metrics plumbing
+// (-metrics / -metricsout / -metricsaddr).
 //
 //	zmsqbench -experiment fig5c -threads 1,2,4,8 -ops 2000000
 //
@@ -28,24 +28,21 @@ import (
 	"fmt"
 	"net/http"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/harness"
-	"repro/internal/locks"
 	"repro/internal/pq"
-	"repro/internal/sharded"
 )
 
 // Metrics plumbing (-metrics / -metricsout / -metricsaddr): when enabled,
-// every ZMSQ the experiments build carries Config.Metrics, each cell's
-// post-run snapshot is collected for the JSON report, and the live
-// observability endpoints serve whichever queue ran most recently.
+// every ZMSQ the grid builds carries Config.Metrics, each cell's post-run
+// snapshot is collected for the JSON report, and the live observability
+// endpoints serve whichever queue ran most recently.
 var (
-	metricsOn   bool
 	liveSnap    atomic.Pointer[func() core.MetricsSnapshot]
 	metricsRows []metricsRow
 )
@@ -58,55 +55,12 @@ type metricsRow struct {
 	Metrics    core.MetricsSnapshot `json:"metrics"`
 }
 
-// mkZMSQ is the experiments' queue constructor: harness.NewZMSQ plus the
-// -metrics instrumentation and live-endpoint registration.
-func mkZMSQ(cfg core.Config) *harness.ZMSQ {
-	if metricsOn {
-		cfg.Metrics = core.NewMetrics()
-	}
-	z := harness.NewZMSQ(cfg)
-	if metricsOn {
-		f := z.Q.Snapshot
-		liveSnap.Store(&f)
-	}
-	return z
-}
-
-// mkSharded is the sharded experiment's constructor: one metrics handle on
-// the template config (each shard derives its own; the adapter's Snapshot
-// is the merged view, which is what -metricsout files and the live
-// endpoints serve).
-func mkSharded(shards int) *harness.Sharded {
-	cfg := sharded.Config{Shards: shards, Queue: core.DefaultConfig()}
-	if metricsOn {
-		cfg.Queue.Metrics = core.NewMetrics()
-	}
-	sq := harness.NewSharded(cfg)
-	if metricsOn {
-		f := sq.Snapshot
-		liveSnap.Store(&f)
-	}
-	return sq
-}
-
-// collect runs one throughput cell and files its metrics snapshot (if any)
-// under the experiment/cell labels for the -metricsout report.
-func collect(experiment, cell string, mk harness.QueueMaker, spec harness.ThroughputSpec) harness.ThroughputResult {
-	res := harness.RunThroughput(mk, spec)
-	if res.Metrics != nil {
-		metricsRows = append(metricsRows, metricsRow{
-			Experiment: experiment, Cell: cell, Threads: spec.Threads,
-			OpsPerSec: res.OpsPerSec(), Metrics: *res.Metrics,
-		})
-	}
-	return res
-}
-
 func main() {
 	var (
-		experiment  = flag.String("experiment", "fig5c", "fig2a|fig2b|fig3a|fig3b|fig5a|fig5b|fig5c|batch|sharded")
-		threadsCSV  = flag.String("threads", defaultThreads(), "comma-separated thread counts")
-		shardsCSV   = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -experiment sharded")
+		specPath    = flag.String("spec", "", "grid spec JSON (empty = embedded default)")
+		name        = flag.String("experiment", "fig5c", "fig2a|fig2b|fig3a|fig3b|fig5a|fig5b|fig5c|batch|sharded")
+		threadsCSV  = flag.String("threads", "", "comma-separated thread counts (empty = spec default sweep)")
+		shardsCSV   = flag.String("shards", "", "comma-separated shard counts to keep from the sharded sweep (empty = all)")
 		ops         = flag.Int("ops", 1_000_000, "total operations per cell")
 		keybits     = flag.Int("keybits", 20, "key width in bits: 20 or 7 (§4.5.1)")
 		seed        = flag.Uint64("seed", 1, "workload seed")
@@ -115,7 +69,7 @@ func main() {
 		metricsAddr = flag.String("metricsaddr", "", "serve /metrics, /metrics.json, /debug/pprof here during the run (implies -metrics)")
 	)
 	flag.Parse()
-	metricsOn = *metrics || *metricsOut != "" || *metricsAddr != ""
+	metricsOn := *metrics || *metricsOut != "" || *metricsAddr != ""
 	if *metricsAddr != "" {
 		mux := harness.NewMetricsMux(func() core.MetricsSnapshot {
 			if f := liveSnap.Load(); f != nil {
@@ -130,35 +84,88 @@ func main() {
 		}()
 	}
 
-	threads, err := parseThreads(*threadsCSV)
+	spec, err := experiment.LoadSpec(*specPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bad -threads:", err)
-		os.Exit(2)
+		fatal(2, err)
 	}
-	keys := harness.Uniform20
-	if *keybits == 7 {
-		keys = harness.Uniform7
+	exName := *name
+	if exName == "sharded" { // historical alias for the grid name
+		exName = "sharded-sweep"
+	}
+	ex := spec.Experiment(exName)
+	if ex == nil {
+		fatal(2, fmt.Errorf("unknown experiment %q", *name))
+	}
+	if *shardsCSV != "" {
+		keep, err := parseThreads(*shardsCSV)
+		if err != nil {
+			fatal(2, fmt.Errorf("bad -shards: %w", err))
+		}
+		var kept []experiment.Variant
+		for _, v := range ex.Variants {
+			for _, s := range keep {
+				if v.Shards == s {
+					kept = append(kept, v)
+					break
+				}
+			}
+		}
+		if len(kept) == 0 {
+			fatal(2, fmt.Errorf("-shards %s matches no variant of %s", *shardsCSV, exName))
+		}
+		ex.Variants = kept
 	}
 
-	switch *experiment {
-	case "fig2a", "fig2b":
-		runFig2(*experiment, threads, *ops, *seed)
-	case "fig3a", "fig3b":
-		runFig3(*experiment, threads, *ops, *seed)
-	case "fig5a", "fig5b", "fig5c":
-		runFig5(*experiment, threads, *ops, keys, *seed)
-	case "batch":
-		runBatch(threads, *ops, keys, *seed)
-	case "sharded":
-		shardCounts, err := parseThreads(*shardsCSV)
+	opt := experiment.Options{
+		Seed:    *seed,
+		Ops:     *ops,
+		Metrics: metricsOn,
+		Progress: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	}
+	if *threadsCSV != "" {
+		opt.Threads, err = parseThreads(*threadsCSV)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bad -shards:", err)
-			os.Exit(2)
+			fatal(2, fmt.Errorf("bad -threads: %w", err))
 		}
-		runSharded(shardCounts, threads, *ops, keys, *seed)
+	}
+	switch *keybits {
+	case 20:
+	case 7:
+		opt.Keys = "uniform7"
 	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
-		os.Exit(2)
+		fatal(2, fmt.Errorf("bad -keybits %d (want 20 or 7)", *keybits))
+	}
+	if metricsOn {
+		opt.OnQueue = func(q pq.Queue) {
+			if src, ok := q.(harness.MetricsSource); ok {
+				f := src.Snapshot
+				liveSnap.Store(&f)
+			}
+		}
+	}
+	opt.OnThroughput = func(cell experiment.Cell, res harness.ThroughputResult) {
+		extra := ""
+		if cell.Batch > 0 {
+			extra = fmt.Sprintf(" batchsize=%-4d", cell.Batch)
+		}
+		if cell.Shards > 0 {
+			extra += fmt.Sprintf(" shards=%-2d", cell.Shards)
+		}
+		fmt.Printf("%-16s threads=%-3d%s Mops/s=%.3f failedExtract=%d\n",
+			cell.Variant, cell.Threads, extra, res.OpsPerSec()/1e6, res.FailedExt)
+		if res.Metrics != nil {
+			metricsRows = append(metricsRows, metricsRow{
+				Experiment: cell.Experiment, Cell: cell.Variant, Threads: cell.Threads,
+				OpsPerSec: res.OpsPerSec(), Metrics: *res.Metrics,
+			})
+		}
+	}
+
+	fmt.Printf("# %s: %d ops per cell, seed %d\n", exName, *ops, *seed)
+	if _, err := spec.Run([]string{exName}, opt); err != nil {
+		fatal(1, err)
 	}
 
 	if *metricsOut != "" {
@@ -170,20 +177,10 @@ func main() {
 			err = os.WriteFile(*metricsOut, append(enc, '\n'), 0o644)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "zmsqbench: writing -metricsout:", err)
-			os.Exit(1)
+			fatal(1, fmt.Errorf("writing -metricsout: %w", err))
 		}
 		fmt.Printf("# metrics: %d cells written to %s\n", len(metricsRows), *metricsOut)
 	}
-}
-
-func defaultThreads() string {
-	max := runtime.GOMAXPROCS(0)
-	var parts []string
-	for t := 1; t <= max; t *= 2 {
-		parts = append(parts, strconv.Itoa(t))
-	}
-	return strings.Join(parts, ",")
 }
 
 func parseThreads(csv string) ([]int, error) {
@@ -198,150 +195,7 @@ func parseThreads(csv string) ([]int, error) {
 	return out, nil
 }
 
-// runFig2 compares lock implementations on a batch=32, targetLen=32 ZMSQ
-// (§4.1): fig2a is 100% inserts from empty with normal keys; fig2b is a
-// 50/50 mix on a prefilled queue.
-func runFig2(which string, threads []int, ops int, seed uint64) {
-	mix, prefill := harness.Mix(100), 0
-	if which == "fig2b" {
-		mix, prefill = 50, ops
-	}
-	fmt.Printf("# Figure 2%s: lock implementations, %d%% inserts, %d ops\n", which[4:], int(mix), ops)
-	cells := []struct {
-		name string
-		cfg  core.Config
-	}{
-		{"std::mutex", core.Config{Batch: 32, TargetLen: 32, Lock: locks.Std, NoTryLock: true}},
-		{"tas-trylock", core.Config{Batch: 32, TargetLen: 32, Lock: locks.TAS}},
-		{"tatas-trylock", core.Config{Batch: 32, TargetLen: 32, Lock: locks.TATAS}},
-	}
-	for _, t := range threads {
-		for _, cell := range cells {
-			cfg := cell.cfg
-			mk := func(int) pq.Queue { return mkZMSQ(cfg) }
-			res := collect(which, cell.name, mk, harness.ThroughputSpec{
-				Threads: t, TotalOps: ops, InsertPct: mix,
-				Keys: harness.Normal20, Prefill: prefill, Seed: seed,
-			})
-			fmt.Printf("%-14s threads=%-3d Mops/s=%.3f\n", cell.name, t, res.OpsPerSec()/1e6)
-		}
-	}
-}
-
-// runFig3 sweeps batch/targetLen configurations (§4.2): dynamic ratios
-// scale with the thread count; static configurations are fixed. The mound
-// is the reference curve.
-func runFig3(which string, threads []int, ops int, seed uint64) {
-	mix, prefill := harness.Mix(100), 0
-	if which == "fig3b" {
-		mix, prefill = 50, ops
-	}
-	fmt.Printf("# Figure 3%s: batch/targetLen configurations, %d%% inserts, %d ops\n", which[4:], int(mix), ops)
-	type cfgFn struct {
-		name string
-		mk   func(t int) pq.Queue
-	}
-	dynamic := func(name string, batchOf, targetOf func(t int) int) cfgFn {
-		return cfgFn{name, func(t int) pq.Queue {
-			return mkZMSQ(core.Config{
-				Batch: batchOf(t), TargetLen: targetOf(t), Lock: locks.TATAS,
-			})
-		}}
-	}
-	static := func(n int) cfgFn {
-		return cfgFn{fmt.Sprintf("static(%d,%d)", n, n), func(int) pq.Queue {
-			return mkZMSQ(core.Config{Batch: n, TargetLen: n, Lock: locks.TATAS})
-		}}
-	}
-	cells := []cfgFn{
-		dynamic("dynamic(1:1)", func(t int) int { return t }, func(t int) int { return t }),
-		dynamic("dynamic(1:1.5)", func(t int) int { return t }, func(t int) int { return t * 3 / 2 }),
-		dynamic("dynamic(1:2)", func(t int) int { return t }, func(t int) int { return 2 * t }),
-		dynamic("dynamic(2:1)", func(t int) int { return 2 * t }, func(t int) int { return t }),
-		static(32), static(64), static(96),
-		{"mound", harness.Makers()["mound"]},
-	}
-	for _, t := range threads {
-		for _, cell := range cells {
-			res := collect(which, cell.name, func(int) pq.Queue { return cell.mk(t) }, harness.ThroughputSpec{
-				Threads: t, TotalOps: ops, InsertPct: mix,
-				Keys: harness.Normal20, Prefill: prefill, Seed: seed,
-			})
-			fmt.Printf("%-16s threads=%-3d Mops/s=%.3f\n", cell.name, t, res.OpsPerSec()/1e6)
-		}
-	}
-}
-
-// runBatch measures the batch-native API: the same 50/50 mixed workload on
-// a prefilled default-config queue, issued through InsertBatch/ExtractBatch
-// in groups of batchsize elements. batchsize=1 is the per-operation
-// baseline. The delta between rows is pure per-call overhead amortization —
-// context pooling, pool-slot handoff, root-lock traffic — since the
-// relaxation contract is identical at every batch size.
-func runBatch(threads []int, ops int, keys harness.KeyDist, seed uint64) {
-	fmt.Printf("# Batch API: 50%% inserts on prefilled queue, %d ops, default config\n", ops)
-	for _, t := range threads {
-		for _, bs := range []int{1, 8, 48, 256} {
-			res := collect("batch", fmt.Sprintf("batchsize=%d", bs),
-				func(int) pq.Queue { return mkZMSQ(core.DefaultConfig()) },
-				harness.ThroughputSpec{
-					Threads: t, TotalOps: ops, InsertPct: 50,
-					Keys: keys, Prefill: ops, Batch: bs, Seed: seed,
-				})
-			fmt.Printf("batchsize=%-4d threads=%-3d Mops/s=%.3f failedExtract=%d\n",
-				bs, t, res.OpsPerSec()/1e6, res.FailedExt)
-		}
-	}
-}
-
-// runSharded sweeps the internal/sharded front-end across shard counts on
-// the 50/50 prefilled mix. shards=1 pays the front-end's dispatch overhead
-// on a single ZMSQ, so the delta against higher shard counts isolates what
-// sharding itself buys; the composed relaxation window grows as S·(b+1)
-// (see internal/sharded's package doc), which EXPERIMENTS.md weighs against
-// the throughput gain.
-func runSharded(shardCounts, threads []int, ops int, keys harness.KeyDist, seed uint64) {
-	fmt.Printf("# Sharded front-end: 50%% inserts on prefilled queue, %d ops, default per-shard config\n", ops)
-	for _, t := range threads {
-		for _, s := range shardCounts {
-			s := s
-			res := collect("sharded", fmt.Sprintf("shards=%d", s),
-				func(int) pq.Queue { return mkSharded(s) },
-				harness.ThroughputSpec{
-					Threads: t, TotalOps: ops, InsertPct: 50,
-					Keys: keys, Prefill: ops, Seed: seed,
-				})
-			fmt.Printf("shards=%-3d threads=%-3d Mops/s=%.3f failedExtract=%d\n",
-				s, t, res.OpsPerSec()/1e6, res.FailedExt)
-		}
-	}
-}
-
-// runFig5 compares ZMSQ (list, array, leak) against SprayList and mound at
-// the recommended batch=48, targetLen=72 (§4.5.1): 100% / 66% / 50%
-// inserts.
-func runFig5(which string, threads []int, ops int, keys harness.KeyDist, seed uint64) {
-	var mix harness.Mix
-	switch which {
-	case "fig5a":
-		mix = 100
-	case "fig5b":
-		mix = 66
-	default:
-		mix = 50
-	}
-	fmt.Printf("# Figure 5%s: %d%% inserts, %d ops, keys=%v\n", which[4:], int(mix), ops, keys)
-	cells := harness.Fig5Cells(func(cfg core.Config) harness.QueueMaker {
-		return func(int) pq.Queue { return mkZMSQ(cfg) }
-	})
-	for _, t := range threads {
-		for _, cell := range cells {
-			res := collect(which, cell.Name, cell.Mk, harness.ThroughputSpec{
-				Threads: t, TotalOps: ops, InsertPct: mix,
-				Keys: keys, Seed: seed,
-			})
-			fmt.Printf("%-14s threads=%-3d Mops/s=%.3f failedExtract=%d\n",
-				cell.Name, t, res.OpsPerSec()/1e6, res.FailedExt)
-		}
-	}
+func fatal(code int, err error) {
+	fmt.Fprintln(os.Stderr, "zmsqbench:", err)
+	os.Exit(code)
 }

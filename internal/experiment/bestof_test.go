@@ -1,0 +1,74 @@
+package experiment
+
+import "testing"
+
+// TestRunPairedInterleaving pins the shared best-of loop's contract: one
+// discarded warmup on side A at a seed no measured round uses, both
+// sides of round i measured at the same seed, first-mover alternating
+// by round, and best = max per side.
+func TestRunPairedInterleaving(t *testing.T) {
+	type call struct {
+		sideB bool
+		seed  uint64
+	}
+	var calls []call
+	scoreOf := map[call]float64{
+		{false, 11}: 10, {true, 11}: 5,
+		{false, 12}: 40, {true, 12}: 45,
+		{false, 13}: 20, {true, 13}: 15,
+	}
+	res := RunPaired(PairedSpec{Rounds: 3, Warmup: true, Seed: 10},
+		func(sideB bool, seed uint64) float64 {
+			c := call{sideB, seed}
+			calls = append(calls, c)
+			return scoreOf[c]
+		})
+
+	if len(calls) != 7 { // 1 warmup + 3 rounds × 2 sides
+		t.Fatalf("got %d measure calls, want 7", len(calls))
+	}
+	warm := calls[0]
+	if warm.sideB {
+		t.Error("warmup ran side B, want side A")
+	}
+	for _, c := range calls[1:] {
+		if c.seed == warm.seed {
+			t.Errorf("measured round reuses warmup seed %d", warm.seed)
+		}
+	}
+	// Round i measures both sides at seed Seed+i+1, A first on even rounds.
+	wantOrder := []call{
+		{false, 11}, {true, 11},
+		{true, 12}, {false, 12},
+		{false, 13}, {true, 13},
+	}
+	for i, want := range wantOrder {
+		if calls[i+1] != want {
+			t.Errorf("call %d = %+v, want %+v", i+1, calls[i+1], want)
+		}
+	}
+
+	if len(res.Rounds) != 3 {
+		t.Fatalf("got %d rounds, want 3", len(res.Rounds))
+	}
+	for i, r := range res.Rounds {
+		if r.Round != i || r.AFirst != (i%2 == 0) {
+			t.Errorf("round %d recorded as %+v", i, r)
+		}
+	}
+	if res.BestA != 40 || res.BestB != 45 {
+		t.Errorf("BestA/BestB = %v/%v, want 40/45", res.BestA, res.BestB)
+	}
+}
+
+// TestRunPairedDefaults: no warmup when disabled, at least one round.
+func TestRunPairedDefaults(t *testing.T) {
+	n := 0
+	res := RunPaired(PairedSpec{Rounds: 0, Seed: 1}, func(bool, uint64) float64 {
+		n++
+		return float64(n)
+	})
+	if n != 2 || len(res.Rounds) != 1 {
+		t.Errorf("got %d calls / %d rounds, want 2 / 1 (Rounds clamps to 1, no warmup)", n, len(res.Rounds))
+	}
+}

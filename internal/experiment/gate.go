@@ -1,0 +1,174 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GateResult is one evaluated gate verdict — the unit the trajectory
+// tracks across PRs.
+type GateResult struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Metric names what Value measures ("overhead_pct", "speedup",
+	// "allocs/op", "failed_cells").
+	Metric    string  `json:"metric"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Pass      bool    `json:"pass"`
+	// Skipped marks verdicts withheld (e.g. too few cores for the sharded
+	// speedup to mean anything); a skipped gate counts as passing.
+	Skipped    bool   `json:"skipped,omitempty"`
+	SkipReason string `json:"skip_reason,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+}
+
+// bestOf returns the maximum Value among the experiment's cells matching
+// the variant name.
+func bestOf(cells []CellResult, experiment, variant string) (float64, bool) {
+	best, found := 0.0, false
+	for _, c := range cells {
+		if c.Cell.Experiment != experiment || c.Cell.Variant != variant {
+			continue
+		}
+		if !found || c.Value > best {
+			best, found = c.Value, true
+		}
+	}
+	return best, found
+}
+
+// Eval judges the gate against a grid that must contain the gate's
+// experiment cells (run the experiment first; a missing cell is an
+// error, not a silent pass).
+func (g GateSpec) Eval(grid *GridResult) (GateResult, error) {
+	res := GateResult{Name: g.Name, Kind: g.Kind, Threshold: g.Threshold}
+	switch g.Kind {
+	case "overhead":
+		base, okB := bestOf(grid.Cells, g.Experiment, g.Base)
+		test, okT := bestOf(grid.Cells, g.Experiment, g.Test)
+		if !okB || !okT {
+			return res, fmt.Errorf("gate %q: grid has no cells for %q base=%q test=%q", g.Name, g.Experiment, g.Base, g.Test)
+		}
+		res.Metric = "overhead_pct"
+		if base > 0 {
+			res.Value = 100 * (base - test) / base
+		}
+		res.Pass = res.Value <= g.Threshold
+		res.Detail = fmt.Sprintf("best %s=%.0f ops/s, best %s=%.0f ops/s, overhead %.2f%% (limit %.2f%%)",
+			g.Base, base, g.Test, test, res.Value, g.Threshold)
+	case "speedup":
+		base, okB := bestOf(grid.Cells, g.Experiment, g.Base)
+		test, okT := bestOf(grid.Cells, g.Experiment, g.Test)
+		if !okB || !okT {
+			return res, fmt.Errorf("gate %q: grid has no cells for %q base=%q test=%q", g.Name, g.Experiment, g.Base, g.Test)
+		}
+		res.Metric = "speedup"
+		if base > 0 {
+			res.Value = test / base
+		}
+		res.Pass = res.Value >= g.Threshold
+		res.Detail = fmt.Sprintf("best %s=%.0f ops/s, best %s=%.0f ops/s, speedup %.2fx (need >= %.2fx)",
+			g.Base, base, g.Test, test, res.Value, g.Threshold)
+		if g.MinCores > 0 && grid.Env.Cores < g.MinCores {
+			// The measurement still ran and is recorded; only the verdict
+			// is withheld — a 1-core box cannot show parallel speedup.
+			res.Skipped = true
+			res.Pass = true
+			res.SkipReason = fmt.Sprintf("%d cores < required %d", grid.Env.Cores, g.MinCores)
+		}
+	case "max":
+		filter := map[string]bool{}
+		for _, v := range g.Variants {
+			filter[v] = true
+		}
+		worst, worstCell, found := 0.0, "", false
+		for _, c := range grid.Cells {
+			if c.Cell.Experiment != g.Experiment {
+				continue
+			}
+			if len(filter) > 0 && !filter[c.Cell.Variant] {
+				continue
+			}
+			if !found || c.Value > worst {
+				worst = c.Value
+				worstCell = c.Cell.Variant + "/" + c.Cell.Op
+				found = true
+			}
+		}
+		if !found {
+			return res, fmt.Errorf("gate %q: grid has no cells for %q variants %v", g.Name, g.Experiment, g.Variants)
+		}
+		res.Metric = "allocs/op"
+		res.Value = worst
+		res.Pass = worst <= g.Threshold
+		res.Detail = fmt.Sprintf("worst cell %s at %.4f (limit %.4f)", worstCell, worst, g.Threshold)
+	case "pass":
+		total, failed := 0, 0
+		var firstErr string
+		for _, c := range grid.Cells {
+			if c.Cell.Experiment != g.Experiment {
+				continue
+			}
+			total++
+			if c.Value != 1 || c.Error != "" {
+				failed++
+				if firstErr == "" {
+					firstErr = c.Error
+				}
+			}
+		}
+		if total == 0 {
+			return res, fmt.Errorf("gate %q: grid has no cells for %q", g.Name, g.Experiment)
+		}
+		res.Metric = "failed_cells"
+		res.Value = float64(failed)
+		res.Pass = failed == 0
+		res.Detail = fmt.Sprintf("%d/%d scenarios conserved", total-failed, total)
+		if firstErr != "" {
+			res.Detail += "; first failure: " + firstErr
+		}
+	default:
+		return res, fmt.Errorf("gate %q: unknown kind %q", g.Name, g.Kind)
+	}
+	return res, nil
+}
+
+// ReproCommand is the copy-pasteable command that reruns exactly the
+// measurement behind a gate verdict, printed on failure so a red gate
+// can be chased locally without reverse-engineering flags.
+func ReproCommand(g GateSpec, grid *GridResult) string {
+	return fmt.Sprintf("go run ./cmd/expgrid -gates %s -scale %s -seed %d", g.Name, grid.Scale, grid.Seed)
+}
+
+// GateExperiments returns the deduplicated experiment names the given
+// gates need, in gate order.
+func GateExperiments(gates []GateSpec) []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, g := range gates {
+		if !seen[g.Experiment] {
+			seen[g.Experiment] = true
+			names = append(names, g.Experiment)
+		}
+	}
+	return names
+}
+
+// SelectGates resolves a comma-separated gate-name list ("" = all gates
+// in spec order).
+func (s *Spec) SelectGates(list string) ([]GateSpec, error) {
+	if strings.TrimSpace(list) == "" {
+		return append([]GateSpec(nil), s.Gates...), nil
+	}
+	var out []GateSpec
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		g := s.Gate(name)
+		if g == nil {
+			return nil, fmt.Errorf("experiment: unknown gate %q", name)
+		}
+		out = append(out, *g)
+	}
+	return out, nil
+}

@@ -1,0 +1,188 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func testGrid(cores int, cells ...CellResult) *GridResult {
+	env := CaptureEnv()
+	env.Cores = cores
+	return &GridResult{Tool: "test", Scale: "small", Seed: 1, Env: env, Cells: cells}
+}
+
+func tcell(experiment, variant string, value float64) CellResult {
+	return CellResult{
+		Cell: Cell{Experiment: experiment, Kind: "throughput", Variant: variant, Seed: 1},
+		Unit: "ops/s", Statistic: "best", Samples: []float64{value}, Value: value,
+	}
+}
+
+func TestGateOverhead(t *testing.T) {
+	g := GateSpec{Name: "m", Kind: "overhead", Experiment: "e", Base: "off", Test: "on", Threshold: 5}
+	grid := testGrid(1, tcell("e", "off", 100), tcell("e", "off", 200), tcell("e", "on", 190))
+	res, err := g.Eval(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// best off = 200, best on = 190 -> 5% overhead, at the limit: pass.
+	if res.Value != 5 || !res.Pass || res.Metric != "overhead_pct" {
+		t.Errorf("res = %+v, want value 5 pass", res)
+	}
+	grid.Cells[2].Value = 180
+	if res, _ = g.Eval(grid); res.Pass {
+		t.Errorf("10%% overhead passed a 5%% gate: %+v", res)
+	}
+	if _, err := g.Eval(testGrid(1, tcell("other", "off", 1))); err == nil {
+		t.Error("missing cells should error, not pass")
+	}
+}
+
+func TestGateSpeedupSkip(t *testing.T) {
+	g := GateSpec{Name: "s", Kind: "speedup", Experiment: "e", Base: "single", Test: "sharded",
+		Threshold: 1.15, MinCores: 8}
+	grid := testGrid(8, tcell("e", "single", 100), tcell("e", "sharded", 120))
+	res, err := g.Eval(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 1.2 || !res.Pass || res.Skipped {
+		t.Errorf("res = %+v, want 1.2x pass unskipped", res)
+	}
+	grid.Cells[1].Value = 110 // 1.1x: below threshold on enough cores
+	if res, _ = g.Eval(grid); res.Pass || res.Skipped {
+		t.Errorf("1.1x passed a 1.15x gate on 8 cores: %+v", res)
+	}
+	small := testGrid(2, tcell("e", "single", 100), tcell("e", "sharded", 90))
+	res, _ = g.Eval(small)
+	if !res.Skipped || !res.Pass || res.SkipReason == "" {
+		t.Errorf("2-core run should skip-pass with a reason: %+v", res)
+	}
+}
+
+func TestGateMaxAndPass(t *testing.T) {
+	g := GateSpec{Name: "a", Kind: "max", Experiment: "alloc", Variants: []string{"leaky"}, Threshold: 0.05}
+	ok := tcell("alloc", "leaky", 0.01)
+	bad := tcell("alloc", "safe", 9)
+	res, err := g.Eval(testGrid(1, ok, bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass || res.Value != 0.01 {
+		t.Errorf("filtered max gate judged unfiltered cells: %+v", res)
+	}
+	g.Variants = nil
+	if res, _ = g.Eval(testGrid(1, ok, bad)); res.Pass {
+		t.Errorf("unfiltered max gate ignored worst cell: %+v", res)
+	}
+
+	p := GateSpec{Name: "r", Kind: "pass", Experiment: "rec"}
+	good := CellResult{Cell: Cell{Experiment: "rec", Kind: "recovery", Variant: "zmsq", Seed: 1},
+		Unit: "pass", Statistic: "mean", Samples: []float64{1}, Value: 1}
+	fail := good
+	fail.Value = 0
+	fail.Error = "lost key 42"
+	res, err = p.Eval(testGrid(1, good, fail))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass || res.Value != 1 || !strings.Contains(res.Detail, "lost key 42") {
+		t.Errorf("pass gate res = %+v, want 1 failed cell with detail", res)
+	}
+	if res, _ = p.Eval(testGrid(1, good)); !res.Pass {
+		t.Errorf("all-conserved grid failed: %+v", res)
+	}
+}
+
+func TestTrajectoryAppendReplaceCompare(t *testing.T) {
+	spec := &Spec{
+		Scales:      map[string]Scale{"small": {}},
+		Experiments: []Experiment{{Name: "e", Kind: "throughput", Variants: []Variant{{Name: "v", Queue: "zmsq"}}}},
+		Gates: []GateSpec{
+			{Name: "over", Kind: "overhead", Experiment: "e", Base: "v", Test: "v", RegressAbs: 2},
+			{Name: "speed", Kind: "speedup", Experiment: "e", Base: "v", Test: "v", RegressPct: 10},
+			{Name: "loose", Kind: "max", Experiment: "e"},
+		},
+	}
+	entry := func(sha string, over, speed float64, overPass bool) TrajectoryEntry {
+		return TrajectoryEntry{
+			Env: Environment{GitSHA: sha}, Scale: "small", Seed: 1,
+			Gates: []GateResult{
+				{Name: "over", Kind: "overhead", Metric: "overhead_pct", Value: over, Pass: overPass},
+				{Name: "speed", Kind: "speedup", Metric: "speedup", Value: speed, Pass: true},
+				{Name: "loose", Kind: "max", Metric: "allocs/op", Value: 100, Pass: true},
+			},
+		}
+	}
+
+	traj := &Trajectory{Tool: "expgrid"}
+	if prev := traj.Append(entry("aaa", 1, 2.0, true)); prev != nil {
+		t.Errorf("first append returned prev %+v", prev)
+	}
+	// Re-running on the same SHA replaces, not duplicates, and compares
+	// against nothing (no other entry).
+	if prev := traj.Append(entry("aaa", 1.5, 2.0, true)); prev != nil || len(traj.Entries) != 1 {
+		t.Errorf("same-SHA append: prev=%v entries=%d, want nil/1", prev, len(traj.Entries))
+	}
+
+	prev := traj.Append(entry("bbb", 2, 1.9, true))
+	if prev == nil || prev.Env.GitSHA != "aaa" || len(traj.Entries) != 2 {
+		t.Fatalf("second append: prev=%+v entries=%d", prev, len(traj.Entries))
+	}
+
+	// over: 1.5 -> 2 is within RegressAbs 2. speed: 2.0 -> 1.9 is a 5%
+	// drop, within RegressPct 10. loose has no bounds.
+	if regs := CompareGates(spec, prev.Gates, traj.Entries[1].Gates); len(regs) != 0 {
+		t.Errorf("in-bounds drift flagged: %v", regs)
+	}
+
+	// over: 1.5 -> 4 exceeds RegressAbs 2; speed: 2.0 -> 1.7 exceeds 10%;
+	// loose: 100 -> 9000 stays silent (no bounds).
+	cur := entry("ccc", 4, 1.7, true).Gates
+	cur[2].Value = 9000
+	regs := CompareGates(spec, prev.Gates, cur)
+	if len(regs) != 2 {
+		t.Fatalf("regs = %v, want over + speed", regs)
+	}
+	names := []string{regs[0].Gate, regs[1].Gate}
+	if !(contains(names, "over") && contains(names, "speed")) {
+		t.Errorf("regression gates = %v", names)
+	}
+
+	// pass -> fail is always a regression, even with no bounds.
+	failCur := entry("ddd", 2, 1.9, false).Gates
+	failCur[0].Pass = false
+	regs = CompareGates(spec, prev.Gates, failCur)
+	if len(regs) != 1 || regs[0].Why != "pass -> fail" {
+		t.Errorf("pass->fail regs = %v", regs)
+	}
+}
+
+func TestTrajectorySaveLoad(t *testing.T) {
+	path := t.TempDir() + "/traj.json"
+	empty, err := LoadTrajectory(path)
+	if err != nil || len(empty.Entries) != 0 {
+		t.Fatalf("missing file: %v / %d entries", err, len(empty.Entries))
+	}
+	empty.Append(TrajectoryEntry{Env: Environment{GitSHA: "aaa"}, Scale: "small",
+		Gates: []GateResult{{Name: "g", Kind: "max", Metric: "allocs/op", Value: 0.5, Pass: true}}})
+	if err := empty.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != 1 || back.Entries[0].Gates[0].Value != 0.5 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

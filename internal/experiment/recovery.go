@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+// runRecoveryExperiment sweeps crash-recovery scenarios: every crash kind
+// against both the single-queue shape and the sharded shape, each over
+// the scale's seed count. A cell's Value is 1 (conserved) or 0, with the
+// conservation detail in Extra and the verdict text in Error.
+func runRecoveryExperiment(ex *Experiment, sc Scale, opt Options) ([]CellResult, error) {
+	seeds := sc.RecoverySeeds
+	if opt.Repeats > 0 {
+		seeds = opt.Repeats
+	}
+	if seeds < 1 {
+		seeds = 1
+	}
+	shards := ex.Shards
+	if opt.Shards > 0 {
+		shards = opt.Shards
+	}
+	if shards < 2 {
+		shards = 4
+	}
+	cfg, err := ex.Config.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	var out []CellResult
+	for _, shape := range []int{1, shards} {
+		for _, kind := range harness.Kinds() {
+			for s := 0; s < seeds; s++ {
+				dir, err := os.MkdirTemp("", "expgrid-recovery-*")
+				if err != nil {
+					return nil, fmt.Errorf("recovery temp dir: %w", err)
+				}
+				plan := harness.RecoveryPlan{
+					Seed:   opt.Seed + uint64(s),
+					Kind:   kind,
+					Shards: shape,
+					Dir:    dir,
+					Queue:  cfg,
+				}
+				res, rerr := harness.RunRecovery(plan)
+				os.RemoveAll(dir)
+
+				cell := Cell{
+					Experiment: ex.Name, Kind: ex.Kind, Variant: res.Name,
+					CrashKind: res.Kind, Shards: shape, Repeats: 1, Seed: plan.Seed,
+				}
+				cr := CellResult{
+					Cell: cell, Unit: "pass", Statistic: "mean",
+					Extra: map[string]float64{
+						"inserted":   float64(res.Inserted),
+						"extracted":  float64(res.Extracted),
+						"recovered":  float64(res.Recovered),
+						"at_risk":    float64(res.Report.AtRisk),
+						"lost_bytes": float64(res.Crash.LostBytes),
+					},
+				}
+				if res.Stats.Syncs > 0 {
+					cr.Extra["ops_per_sync"] = float64(res.Stats.Ops) / float64(res.Stats.Syncs)
+				}
+				if rerr == nil {
+					cr.Value = 1
+				} else {
+					cr.Error = rerr.Error()
+					for _, v := range res.Report.Violations {
+						cr.Error += fmt.Sprintf("; violation: %s", v)
+					}
+				}
+				cr.Samples = []float64{cr.Value}
+				out = append(out, cr)
+				opt.progress("%s: %-12s %-13s seed=%-4d inserted=%d extracted=%d recovered=%d atrisk=%d pass=%v",
+					ex.Name, res.Name, res.Kind, plan.Seed, res.Inserted, res.Extracted,
+					res.Recovered, res.Report.AtRisk, rerr == nil)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package experiment
+
+import (
+	"testing"
+)
+
+func tinySpec() *Spec {
+	return &Spec{
+		Scales: map[string]Scale{
+			"small": {Ops: 400, Handoffs: 200, Repeats: 2, Trials: 1, AllocRuns: 200, RecoverySeeds: 1},
+		},
+		Experiments: []Experiment{
+			{
+				Name: "tp", Kind: "throughput", Mix: 50, Prefill: true, Threads: []int{1},
+				Variants: []Variant{{Name: "zmsq", Queue: "zmsq"}, {Name: "fifo", Queue: "fifo"}},
+			},
+			{
+				Name: "pair", Kind: "paired", Mix: 50, Threads: []int{1},
+				Variants: []Variant{{Name: "base", Queue: "zmsq"}, {Name: "test", Queue: "zmsq", Config: &QueueConfig{Metrics: true}}},
+			},
+			{
+				Name: "acc", Kind: "accuracy",
+				Sizes:    []AccuracySize{{QueueSize: 128, Extracts: []int{16}}},
+				Variants: []Variant{{Name: "zmsq", Queue: "zmsq", Config: &QueueConfig{Batch: 4}, Threads: 1}},
+			},
+			{
+				Name: "hand", Kind: "handoff", Ratios: [][2]int{{1, 1}},
+				Variants: []Variant{
+					{Name: "block", Queue: "zmsq", Blocking: true},
+					{Name: "mound", Queue: "mound"},
+				},
+			},
+		},
+	}
+}
+
+// TestRunExpansion runs the four workload kinds at trivially small sizes
+// against the real harness and pins the grid's expansion arithmetic and
+// canonical schema.
+func TestRunExpansion(t *testing.T) {
+	spec := tinySpec()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	grid, err := spec.Run(nil, Options{Scale: "small", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateGrid(grid); err != nil {
+		t.Fatalf("canonical schema: %v", err)
+	}
+	if grid.Seed != 3 || grid.Scale != "small" {
+		t.Errorf("grid header %q/%d", grid.Scale, grid.Seed)
+	}
+
+	count := map[string]int{}
+	for _, c := range grid.Cells {
+		count[c.Cell.Experiment]++
+	}
+	// tp: 1 thread × 2 variants; pair: 2 sides; acc: 1×1×1; hand: 1 ratio × 2.
+	for name, want := range map[string]int{"tp": 2, "pair": 2, "acc": 1, "hand": 2} {
+		if count[name] != want {
+			t.Errorf("experiment %s expanded to %d cells, want %d", name, count[name], want)
+		}
+	}
+
+	for _, c := range grid.Cells {
+		switch c.Cell.Experiment {
+		case "tp":
+			if len(c.Samples) != 2 || c.Statistic != "best" || c.Unit != "ops/s" {
+				t.Errorf("tp cell %+v: want 2 best-of samples of ops/s", c)
+			}
+			if c.Value <= 0 || c.Cell.Prefill != 400 {
+				t.Errorf("tp cell value/prefill = %v/%d", c.Value, c.Cell.Prefill)
+			}
+			best := 0.0
+			for _, s := range c.Samples {
+				if s > best {
+					best = s
+				}
+			}
+			if c.Value != best {
+				t.Errorf("tp cell value %v != max sample %v", c.Value, best)
+			}
+		case "pair":
+			if len(c.Samples) != 2 || c.Value <= 0 {
+				t.Errorf("paired cell %+v: want one sample per round", c)
+			}
+		case "acc":
+			if c.Unit != "hit_pct" || c.Value < 0 || c.Value > 100 {
+				t.Errorf("accuracy cell %+v", c)
+			}
+		case "hand":
+			if c.Unit != "ns/handoff" || c.Value <= 0 {
+				t.Errorf("handoff cell %+v", c)
+			}
+			if _, ok := c.Extra["cpu_sec"]; !ok {
+				t.Errorf("handoff cell lacks cpu_sec extra: %+v", c.Extra)
+			}
+		}
+	}
+
+	// Unknown names fail loudly.
+	if _, err := spec.Run([]string{"nope"}, Options{Scale: "small"}); err == nil {
+		t.Error("unknown experiment name should error")
+	}
+	if _, err := spec.Run(nil, Options{Scale: "galactic"}); err == nil {
+		t.Error("unknown scale should error")
+	}
+}
+
+// TestValidateGridRejects pins the schema checks the smoke tests rely on.
+func TestValidateGridRejects(t *testing.T) {
+	good := testGrid(1, tcell("e", "v", 10))
+	if err := ValidateGrid(good); err != nil {
+		t.Fatalf("good grid rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		warp func(*GridResult)
+	}{
+		{"no cells", func(g *GridResult) { g.Cells = nil }},
+		{"no env", func(g *GridResult) { g.Env = Environment{} }},
+		{"bad unit", func(g *GridResult) { g.Cells[0].Unit = "furlongs" }},
+		{"bad statistic", func(g *GridResult) { g.Cells[0].Statistic = "vibes" }},
+		{"no samples", func(g *GridResult) { g.Cells[0].Samples = nil }},
+		{"no variant", func(g *GridResult) { g.Cells[0].Cell.Variant = "" }},
+	}
+	for _, tc := range cases {
+		g := testGrid(1, tcell("e", "v", 10))
+		tc.warp(g)
+		if err := ValidateGrid(g); err == nil {
+			t.Errorf("%s: validated", tc.name)
+		}
+	}
+}

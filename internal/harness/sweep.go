@@ -21,7 +21,9 @@ type Row struct {
 }
 
 // labelOrder and metricOrder pin column order for deterministic output.
-var labelOrder = []string{"threads", "mix", "keys", "batch", "targetLen", "producers", "consumers", "extracts", "size", "workers", "graph", "mode", "ratio"}
+var labelOrder = []string{"threads", "mix", "keys", "batch", "targetLen", "shards", "producers", "consumers", "extracts", "size", "workers", "graph", "mode", "ratio", "op", "crash"}
+
+var metricOrder = []string{"Mops/s", "failedExtract", "hit%", "failures", "ns/handoff", "meanLatNs", "cpuSec", "allocs/op", "pass", "atRisk", "opsPerSync", "ms", "wasted%"}
 
 // Recorder accumulates rows for one run and renders them.
 type Recorder struct {
@@ -103,7 +105,7 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	metricCols := []string{}
 	seenMetric := map[string]bool{}
 	for _, row := range r.rows {
-		for _, name := range []string{"Mops/s", "failedExtract", "hit%", "failures", "ns/handoff", "meanLatNs", "cpuSec", "ms", "wasted%"} {
+		for _, name := range metricOrder {
 			if _, ok := row.Metrics[name]; ok && !seenMetric[name] {
 				metricCols = append(metricCols, name)
 				seenMetric[name] = true
@@ -150,9 +152,11 @@ func (r *Recorder) WriteText(w io.Writer) error {
 				}
 			}
 		}
-		for name, v := range row.Metrics {
-			if _, err := fmt.Fprintf(w, " %s=%.3f", name, v); err != nil {
-				return err
+		for _, name := range metricOrder {
+			if v, ok := row.Metrics[name]; ok {
+				if _, err := fmt.Fprintf(w, " %s=%.3f", name, v); err != nil {
+					return err
+				}
 			}
 		}
 		if _, err := fmt.Fprintln(w); err != nil {
