@@ -176,10 +176,12 @@ func opsFor(ex *Experiment, sc Scale, opt Options) int {
 	return 1000
 }
 
-func repeatsFor(sc Scale, opt Options) int {
+func repeatsFor(ex *Experiment, sc Scale, opt Options) int {
 	switch {
 	case opt.Repeats > 0:
 		return opt.Repeats
+	case ex.Repeats > 0:
+		return ex.Repeats
 	case sc.Repeats > 0:
 		return sc.Repeats
 	}
@@ -207,7 +209,7 @@ func keysFor(ex *Experiment, opt Options) (harness.KeyDist, string) {
 func runThroughput(ex *Experiment, sc Scale, opt Options) ([]CellResult, error) {
 	threads := threadsFor(ex, opt)
 	ops := opsFor(ex, sc, opt)
-	repeats := repeatsFor(sc, opt)
+	repeats := repeatsFor(ex, sc, opt)
 	keys, keyName := keysFor(ex, opt)
 	batches := ex.BatchSizes
 	if len(batches) == 0 {
@@ -266,7 +268,7 @@ func runPairedExperiment(ex *Experiment, sc Scale, opt Options) ([]CellResult, e
 	}
 	t := threads[0]
 	ops := opsFor(ex, sc, opt)
-	rounds := repeatsFor(sc, opt)
+	rounds := repeatsFor(ex, sc, opt)
 	keys, keyName := keysFor(ex, opt)
 	prefill := 0
 	if ex.Prefill {

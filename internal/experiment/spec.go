@@ -97,6 +97,10 @@ type Experiment struct {
 	Ratios [][2]int `json:"ratios,omitempty"`
 	// Ops overrides the scale's operation count for this experiment.
 	Ops int `json:"ops,omitempty"`
+	// Repeats overrides the scale's sample/round count for this
+	// experiment (gate experiments pin it so verdict fidelity does not
+	// change with -scale).
+	Repeats int `json:"repeats,omitempty"`
 	// AllocOps lists the alloc-kind probes: "insert+extract", "batch64".
 	AllocOps []string `json:"alloc_ops,omitempty"`
 	// Shards is the sharded shape the recovery kind sweeps next to the
