@@ -14,6 +14,9 @@
 //	chaos -seeds 16            # sweep 16 seeds
 //	chaos -sharded 3           # also chaos the sharded front-end (3 shards,
 //	                           # composed S·(b+1) window, per-shard never-fails)
+//	chaos -sharded 3 -policy v2  # sharded front-end under a v2 policy
+//	                           # (sticky/buffered/elastic; window widened by
+//	                           # the policy's WindowSlack)
 //	chaos -durable             # attach a WAL; after the drain the durable
 //	                           # state must replay to empty
 //	chaos -baselines           # also run conservation checks on baselines
@@ -30,6 +33,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/locks"
+	"repro/internal/sharded"
 )
 
 func main() {
@@ -47,6 +51,7 @@ func main() {
 		hazard    = flag.Int("hazard", 50, "hazard-scan stall percentage")
 		grow      = flag.Int("grow", 75, "tree-growth stall percentage")
 		shardedN  = flag.Int("sharded", 0, "also chaos a sharded front-end with this many shards (0 = off)")
+		policy    = flag.String("policy", "v1", fmt.Sprintf("sharded front-end policy preset %v", sharded.PolicyNames()))
 		baselines = flag.Bool("baselines", false, "also run conservation chaos over the baselines")
 		durable   = flag.Bool("durable", false, "attach a write-ahead log and verify the durable state replays to empty after the drain")
 		walDir    = flag.String("waldir", "", "durability directory for -durable (default: a fresh temp dir per run)")
@@ -74,6 +79,12 @@ func main() {
 		},
 		Keys: harness.Uniform20,
 	}
+	pol, err := sharded.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	plan.Policy = pol
 
 	if err := plan.Queue.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -89,6 +100,9 @@ func main() {
 			seed, *rounds, *producers, *consumers, *ops, *batch, *target, *trylock, *handoff, *hazard, *grow)
 		if shards > 0 {
 			fmt.Fprintf(&b, " -sharded %d", shards)
+			if *policy != "" && *policy != "v1" {
+				fmt.Fprintf(&b, " -policy %s", *policy)
+			}
 		}
 		if *durable {
 			b.WriteString(" -durable")
@@ -130,7 +144,7 @@ func main() {
 		}
 	}
 
-	fmt.Printf("%-12s %-10s %9s %9s %7s %9s %8s %7s\n",
+	fmt.Printf("%-20s %-10s %9s %9s %7s %9s %8s %7s\n",
 		"queue", "seed", "inserted", "extracted", "failed", "strict", "maxrank", "run")
 	for s := 0; s < *seeds; s++ {
 		runOne(*seed+uint64(s), 0)
@@ -167,7 +181,7 @@ func main() {
 }
 
 func printResult(res harness.ChaosResult, seed uint64) {
-	fmt.Printf("%-12s %-10d %9d %9d %7d %9d %8d %7d\n",
+	fmt.Printf("%-20s %-10d %9d %9d %7d %9d %8d %7d\n",
 		res.Name, seed, res.Inserted, res.Extracted, res.FailedExtracts,
 		res.Report.StrictExtracts, res.Report.MaxStrictRank, res.Report.WorstRun)
 	if len(res.FaultFired) > 0 {

@@ -1,44 +1,53 @@
-// Command shardgate is the thin front-end for the "sharded-speedup" gate
-// of the experiment grid: the interleaved best-of comparison of the
-// sharded front-end against a single default-config ZMSQ (50/50 mix,
-// uniform keys, prefilled). The workload shape, the speedup threshold
-// and the min-core skip rule all live in the grid spec
-// (internal/experiment/experiments.json), not here.
+// Command shardgate is the thin front-end for the sharded gates of the
+// experiment grid: "sharded-speedup" (sharded front-end vs a single
+// default-config ZMSQ) and "sharded-sticky" (sharding v2 sticky+buffered
+// policy vs sharded v1), both interleaved best-of comparisons on a 50/50
+// mix with uniform keys and a prefilled queue. The workload shapes, the
+// speedup thresholds and the min-core skip rules all live in the grid
+// spec (internal/experiment/experiments.json), not here.
 //
-// The report records whether the speedup met the spec's threshold. With
+// Each report records whether the speedup met the spec's threshold. With
 // -gate the run also judges: on a runner with at least the spec's
-// min_cores the build fails when the speedup is below the threshold; on
-// a smaller runner the gate is SKIPPED — recorded as "skipped" in the
+// min_cores the build fails when a speedup is below its threshold; on a
+// smaller runner the gate is SKIPPED — recorded as "skipped" in the
 // JSON, never counted as a verdict — because a 2-core machine has too
 // little parallelism for the comparison to mean anything.
 //
-//	go run ./cmd/shardgate -out results/BENCH_sharded.json
+// With -trajectory the verdicts are merged into the cross-PR perf
+// ledger. Skipped gates are recorded as explicit skipped entries (not
+// silently dropped), so a small runner leaves a visible "skip" in the
+// trajectory instead of a gap, and the regression diff — which ignores
+// skipped entries on either side — never compares measurements taken on
+// differently-sized runners.
+//
+//	go run ./cmd/shardgate -outdir results
 //	go run ./cmd/shardgate -gate           # judge (or skip) by core count
+//	go run ./cmd/shardgate -gate -trajectory results/BENCH_trajectory.json
 //	go run ./cmd/shardgate -seed 7 -gate   # reproduce a CI failure
+//	go run ./cmd/shardgate -gates sharded-sticky -gate   # just the v2 gate
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"repro/internal/experiment"
 )
 
-const gateName = "sharded-speedup"
-
 func main() {
 	var (
 		specPath = flag.String("spec", "", "grid spec JSON (empty = embedded default)")
+		gates    = flag.String("gates", "sharded-speedup,sharded-sticky", "comma-separated gate names to judge")
 		scale    = flag.String("scale", "small", "scale tier: smoke|small|full (sets the round count)")
 		rounds   = flag.Int("rounds", 7, "paired measurement rounds (0 = scale default)")
 		ops      = flag.Int("ops", 0, "operations per round per mode (0 = spec default)")
 		threads  = flag.Int("threads", 0, "worker goroutines (0 = spec default: min(GOMAXPROCS, 8))")
-		shards   = flag.Int("shards", 0, "shard count for the sharded mode (0 = spec default)")
+		shards   = flag.Int("shards", 0, "shard count override for every sharded variant (0 = spec default)")
 		seed     = flag.Uint64("seed", 1, "base workload seed (failures print it back as a repro command)")
-		gate     = flag.Bool("gate", false, "judge the speedup: fail below the spec threshold on runners with enough cores, skip below")
-		out      = flag.String("out", "results/BENCH_sharded.json", "report path (empty = stdout only)")
+		gate     = flag.Bool("gate", false, "judge the speedups: fail below the spec threshold on runners with enough cores, skip below")
+		outDir   = flag.String("outdir", "results", "directory for the per-gate reports, named by each gate's spec out (empty = stdout only)")
+		trajFile = flag.String("trajectory", "", "merge verdicts (including explicit skips) into this trajectory ledger and fail on configured regressions (empty = off)")
 	)
 	flag.Parse()
 
@@ -46,12 +55,29 @@ func main() {
 	if err != nil {
 		fatal(2, err)
 	}
-	g := spec.Gate(gateName)
-	if g == nil {
-		fatal(2, fmt.Errorf("spec has no %q gate", gateName))
+	selected, err := spec.SelectGates(*gates)
+	if err != nil {
+		fatal(2, err)
 	}
+	if len(selected) == 0 {
+		fatal(2, fmt.Errorf("no gates selected"))
+	}
+	names := experiment.GateExperiments(selected)
 	if *shards > 0 {
-		spec.Experiment(g.Experiment).Variants[1].Shards = *shards
+		// The override applies to every sharded variant of the selected
+		// experiments — both sides of the v1-vs-v2 comparison must run at
+		// the same shard count for the speedup to mean anything.
+		for _, name := range names {
+			ex := spec.Experiment(name)
+			if ex == nil {
+				continue
+			}
+			for i := range ex.Variants {
+				if ex.Variants[i].Queue == "sharded" {
+					ex.Variants[i].Shards = *shards
+				}
+			}
+		}
 	}
 
 	opt := experiment.Options{
@@ -66,40 +92,70 @@ func main() {
 	if *threads > 0 {
 		opt.Threads = []int{*threads}
 	}
-	grid, err := spec.Run([]string{g.Experiment}, opt)
+	grid, err := spec.Run(names, opt)
 	if err != nil {
 		fatal(1, err)
 	}
-	res, err := g.Eval(grid)
-	if err != nil {
-		fatal(1, err)
-	}
-	if *out != "" {
-		gg := *g
-		dir, file := filepath.Split(*out)
-		gg.Out = file
-		if dir == "" {
-			dir = "."
-		}
-		if err := experiment.WriteGateReport(dir, "shardgate", grid, gg, res); err != nil {
+
+	failed := 0
+	var results []experiment.GateResult
+	for _, g := range selected {
+		res, err := g.Eval(grid)
+		if err != nil {
 			fatal(1, err)
+		}
+		results = append(results, res)
+		if *outDir != "" {
+			if err := experiment.WriteGateReport(*outDir, "shardgate", grid, g, res); err != nil {
+				fatal(1, err)
+			}
+		}
+		switch {
+		case res.Skipped:
+			fmt.Printf("shardgate: gate %-16s SKIP — %s; %s recorded but not judged\n", res.Name, res.SkipReason, res.Detail)
+		case res.Pass:
+			fmt.Printf("shardgate: gate %-16s PASS — %s on a %d-core runner\n", res.Name, res.Detail, grid.Env.Cores)
+		default:
+			failed++
+			fmt.Fprintf(os.Stderr, "shardgate: gate %-16s FAIL — %s\n", res.Name, res.Detail)
+			fmt.Fprintf(os.Stderr, "shardgate: reproduce with: go run ./cmd/shardgate -gate -gates %s -scale %s -seed %d\n",
+				res.Name, grid.Scale, grid.Seed)
 		}
 	}
 
-	fmt.Printf("shardgate: %s\n", res.Detail)
-	if !*gate {
-		return
+	var regs []experiment.Regression
+	if *trajFile != "" {
+		traj, err := experiment.LoadTrajectory(*trajFile)
+		if err != nil {
+			fatal(1, err)
+		}
+		// Merge, not Append: the expgrid job records the full gate set for
+		// this SHA; shardgate only replaces its own gates in that entry.
+		// Skipped results go in as-is — an explicit skip is the record that
+		// this runner was too small, and CompareGates ignores skipped
+		// entries so the diff never spans runner sizes.
+		cur := experiment.TrajectoryEntry{Env: grid.Env, Scale: grid.Scale, Seed: grid.Seed, Gates: results}
+		prev := traj.Merge(cur)
+		if prev != nil && prev.Scale != cur.Scale {
+			fmt.Printf("shardgate: previous trajectory entry ran at scale %q, this one at %q — recording without regression comparison\n",
+				prev.Scale, cur.Scale)
+		}
+		if prev != nil && prev.Scale == cur.Scale {
+			regs = experiment.CompareGates(spec, prev.Gates, results)
+		}
+		fmt.Print(experiment.RenderComparison(prev, cur, regs))
+		if err := traj.Save(*trajFile); err != nil {
+			fatal(1, err)
+		}
+		fmt.Printf("shardgate: trajectory updated at %s (%d entries)\n", *trajFile, len(traj.Entries))
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "shardgate: REGRESSION %s\n", r)
+		}
 	}
-	switch {
-	case res.Skipped:
-		fmt.Printf("shardgate: SKIP — %s; speedup %.2fx recorded but not judged\n", res.SkipReason, res.Value)
-	case !res.Pass:
-		fmt.Fprintf(os.Stderr, "shardgate: FAIL — %s\n", res.Detail)
-		fmt.Fprintf(os.Stderr, "shardgate: reproduce with: go run ./cmd/shardgate -gate -scale %s -seed %d\n", grid.Scale, grid.Seed)
+
+	if *gate && (failed > 0 || len(regs) > 0) {
+		fmt.Fprintf(os.Stderr, "shardgate: %d gate(s) failed, %d regression(s)\n", failed, len(regs))
 		os.Exit(1)
-	default:
-		fmt.Printf("shardgate: gate PASS — speedup %.2fx >= %.2fx on a %d-core runner\n",
-			res.Value, res.Threshold, grid.Env.Cores)
 	}
 }
 

@@ -133,6 +133,10 @@ type Variant struct {
 	// Shards is the sharded front-end's shard count; 0 selects
 	// min(GOMAXPROCS, 8).
 	Shards int `json:"shards,omitempty"`
+	// Policy names a sharded front-end policy preset ("v1", "sticky",
+	// "buffered", "elastic"/"v2" — see sharded.ParsePolicy); empty means
+	// v1.
+	Policy string `json:"policy,omitempty"`
 	// Threads pins the relaxation parallelism for accuracy cells
 	// (SprayList tunes to it); 0 means 1.
 	Threads int `json:"threads,omitempty"`

@@ -1,0 +1,58 @@
+package experiment
+
+import "testing"
+
+func TestTrajectoryMerge(t *testing.T) {
+	g := func(name string, value float64, skipped bool) GateResult {
+		return GateResult{Name: name, Kind: "speedup", Metric: "speedup", Value: value, Pass: true, Skipped: skipped}
+	}
+	traj := &Trajectory{Tool: "expgrid"}
+
+	// No entry for the SHA: Merge behaves like Append.
+	if prev := traj.Merge(TrajectoryEntry{Env: Environment{GitSHA: "aaa"}, Scale: "small",
+		Gates: []GateResult{g("alloc", 1, false), g("sharded-speedup", 1.2, false)}}); prev != nil {
+		t.Fatalf("first merge returned prev %+v", prev)
+	}
+	traj.Merge(TrajectoryEntry{Env: Environment{GitSHA: "bbb"}, Scale: "small",
+		Gates: []GateResult{g("alloc", 2, false)}})
+
+	// Partial merge into bbb: the named gate is replaced, other gates of
+	// the entry are kept, a new gate name joins, and the entry keeps its
+	// position. An explicitly skipped result is recorded, not dropped.
+	prev := traj.Merge(TrajectoryEntry{Env: Environment{GitSHA: "bbb"}, Scale: "small",
+		Gates: []GateResult{g("alloc", 3, false), g("sharded-sticky", 1.1, true)}})
+	if prev == nil || prev.Env.GitSHA != "aaa" {
+		t.Fatalf("merge prev = %+v, want aaa", prev)
+	}
+	if len(traj.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (merge duplicated the SHA entry)", len(traj.Entries))
+	}
+	e := traj.Entries[1]
+	if len(e.Gates) != 2 || e.Gates[0].Value != 3 {
+		t.Fatalf("merged gates = %+v, want replaced alloc + joined sharded-sticky", e.Gates)
+	}
+	if e.Gates[1].Name != "sharded-sticky" || !e.Gates[1].Skipped {
+		t.Fatalf("skipped gate not recorded: %+v", e.Gates[1])
+	}
+
+	// Merging into the oldest entry keeps its position and reports no
+	// previous entry to compare against.
+	if prev := traj.Merge(TrajectoryEntry{Env: Environment{GitSHA: "aaa"}, Scale: "small",
+		Gates: []GateResult{g("alloc", 9, false)}}); prev != nil {
+		t.Fatalf("merge into the first entry returned prev %+v", prev)
+	}
+	first := traj.Entries[0]
+	if first.Env.GitSHA != "aaa" || first.Gates[0].Value != 9 {
+		t.Fatalf("first entry not updated in place: %+v", first)
+	}
+	if len(first.Gates) != 2 || first.Gates[1].Value != 1.2 {
+		t.Fatalf("untouched gate lost: %+v", first.Gates)
+	}
+
+	// "unknown" SHAs never match an existing entry — they append.
+	traj.Merge(TrajectoryEntry{Env: Environment{GitSHA: "unknown"}, Scale: "small", Gates: []GateResult{g("alloc", 1, false)}})
+	traj.Merge(TrajectoryEntry{Env: Environment{GitSHA: "unknown"}, Scale: "small", Gates: []GateResult{g("alloc", 1, false)}})
+	if len(traj.Entries) != 4 {
+		t.Fatalf("entries = %d after two unknown-SHA merges, want 4", len(traj.Entries))
+	}
+}

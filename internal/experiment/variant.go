@@ -87,6 +87,10 @@ func (v Variant) maker(opt Options) (harness.QueueMaker, error) {
 		if err != nil {
 			return nil, err
 		}
+		pol, err := sharded.ParsePolicy(v.Policy)
+		if err != nil {
+			return nil, err
+		}
 		shards := v.Shards
 		metrics := opt.Metrics || (v.Config != nil && v.Config.Metrics)
 		mk = func(int) pq.Queue {
@@ -94,7 +98,7 @@ func (v Variant) maker(opt Options) (harness.QueueMaker, error) {
 			if metrics {
 				cfg.Metrics = core.NewMetrics()
 			}
-			return harness.NewSharded(sharded.Config{Shards: shards, Queue: cfg})
+			return harness.NewSharded(sharded.Config{Shards: shards, Queue: cfg, Policy: pol})
 		}
 	default:
 		reg, ok := harness.Makers()[v.Queue]

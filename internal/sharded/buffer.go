@@ -1,0 +1,207 @@
+package sharded
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Per-shard op buffers (Policy.InsertBuffer / Policy.ExtractBuffer).
+//
+// Buffers are owned by the Queue, not by the pooled operation contexts: a
+// sync.Pool may drop a context at any GC, and elements buffered inside a
+// dropped context would silently vanish — a conservation violation. A
+// per-shard buffer guarded by its own mutex is deterministically
+// reachable from every flush, sweep, and drain path.
+//
+// Hot paths only ever TryLock the buffer mutex: a contended buffer makes
+// the operation fall through to the shard's direct path (which has its
+// own trylock machinery), so the buffer layer never adds blocking. The
+// failure count feeds the elastic controller. Slow paths (Flush, Len,
+// ForEach, migration) take the lock unconditionally; they never hold a
+// shard lock while doing so, and flushes acquire buffer-then-shard only,
+// so the lock order is acyclic.
+
+// shardBuf is one shard's insert and extract buffer, padded onto its own
+// cache line so neighbouring shards' buffer traffic doesn't false-share.
+// insKeys/insVals are parallel pending-insert slices (flushed through
+// InsertBatch); ext[extHead:] is the FIFO of extracted-but-undelivered
+// elements (refilled through ExtractBatch). All fields are guarded by mu.
+type shardBuf[V any] struct {
+	mu      sync.Mutex
+	insKeys []uint64
+	insVals []V
+	ext     []core.Element[V]
+	extHead int
+	_       [40]byte
+}
+
+// popExt hands out the next buffered extraction, FIFO. Caller holds mu.
+func (b *shardBuf[V]) popExt() (uint64, V, bool) {
+	if b.extHead < len(b.ext) {
+		e := b.ext[b.extHead]
+		b.ext[b.extHead] = core.Element[V]{} // drop the payload reference
+		b.extHead++
+		if b.extHead == len(b.ext) {
+			b.ext, b.extHead = b.ext[:0], 0
+		}
+		return e.Key, e.Val, true
+	}
+	var zero V
+	return 0, zero, false
+}
+
+// pending returns the number of buffered elements (both directions).
+// Caller holds mu.
+func (b *shardBuf[V]) pending() int { return len(b.insKeys) + len(b.ext) - b.extHead }
+
+// newBufs allocates the per-shard buffers at their configured capacities
+// so steady-state appends never grow the slices.
+func newBufs[V any](shards int, p Policy) []shardBuf[V] {
+	if !p.buffered() {
+		return nil
+	}
+	bufs := make([]shardBuf[V], shards)
+	for i := range bufs {
+		if p.InsertBuffer > 0 {
+			bufs[i].insKeys = make([]uint64, 0, p.InsertBuffer)
+			bufs[i].insVals = make([]V, 0, p.InsertBuffer)
+		}
+		if p.ExtractBuffer > 0 {
+			bufs[i].ext = make([]core.Element[V], 0, p.ExtractBuffer)
+		}
+	}
+	return bufs
+}
+
+// bufInsert appends (key, val) to shard i's insert buffer, flushing it
+// through the shard's batch path when full. Returns false without
+// touching the shard when the buffer trylock is contended — the caller
+// falls through to the direct insert path.
+func (q *Queue[V]) bufInsert(i uint32, key uint64, val V) bool {
+	b := &q.bufs[i]
+	if !b.mu.TryLock() {
+		q.bufTryFail.Add(1)
+		return false
+	}
+	b.insKeys = append(b.insKeys, key)
+	b.insVals = append(b.insVals, val)
+	if len(b.insKeys) >= q.pol.InsertBuffer {
+		q.flushLocked(i, b)
+	}
+	b.mu.Unlock()
+	return true
+}
+
+// flushLocked pushes shard i's pending inserts into the shard through
+// InsertBatch. Caller holds b.mu; the buffer-then-shard lock order is the
+// only nesting the buffer layer ever performs.
+func (q *Queue[V]) flushLocked(i uint32, b *shardBuf[V]) {
+	if len(b.insKeys) == 0 {
+		return
+	}
+	q.shards[i].q.InsertBatch(b.insKeys, b.insVals)
+	b.insKeys = b.insKeys[:0]
+	b.insVals = b.insVals[:0]
+	q.bufFlushes.Add(1)
+}
+
+// flushAllInsertBuffers flushes every shard's insert buffer, skipping
+// contended ones (they will be flushed by their owner or the next sweep).
+// Called at every full peek sweep so a buffered element is pushed into
+// its shard — and becomes visible to PeekMax — within one sweep period.
+func (q *Queue[V]) flushAllInsertBuffers() {
+	for i := range q.bufs {
+		b := &q.bufs[i]
+		if !b.mu.TryLock() {
+			q.bufTryFail.Add(1)
+			continue
+		}
+		q.flushLocked(uint32(i), b)
+		b.mu.Unlock()
+	}
+}
+
+// Flush synchronously pushes every buffered insert into its shard,
+// waiting out any buffer contention. It is the deterministic flush used
+// by SyncWAL (buffered inserts must reach the log before a sync can ack
+// them) and available to callers who need Len/PeekMax to be exact after
+// quiescence. No-op for unbuffered policies.
+func (q *Queue[V]) Flush() {
+	for i := range q.bufs {
+		b := &q.bufs[i]
+		b.mu.Lock()
+		q.flushLocked(uint32(i), b)
+		b.mu.Unlock()
+	}
+}
+
+// drawShard extracts one element from shard i, serving the extract-buffer
+// FIFO first, then flushing pending inserts and refilling the buffer
+// through the shard's batch path. A contended buffer falls through to the
+// shard's direct extraction so the draw never blocks on the buffer layer
+// (the skipped buffer's elements stay reachable by later draws/sweeps).
+func (q *Queue[V]) drawShard(i uint32) (uint64, V, bool) {
+	if q.bufs == nil {
+		return q.shards[i].q.TryExtractMax()
+	}
+	b := &q.bufs[i]
+	if !b.mu.TryLock() {
+		q.bufTryFail.Add(1)
+		return q.shards[i].q.TryExtractMax()
+	}
+	if k, v, ok := b.popExt(); ok {
+		b.mu.Unlock()
+		return k, v, true
+	}
+	q.flushLocked(i, b)
+	if n := q.pol.ExtractBuffer; n > 0 {
+		b.ext = q.shards[i].q.ExtractBatch(b.ext[:0], n)
+		b.extHead = 0
+		k, v, ok := b.popExt()
+		b.mu.Unlock()
+		return k, v, ok
+	}
+	b.mu.Unlock()
+	return q.shards[i].q.TryExtractMax()
+}
+
+// effectiveMax is shard i's advisory maximum including its buffered
+// elements — the quantity the choice-of-two and argmax sweeps compare, so
+// a buffered global maximum still attracts the sweep to its shard. A
+// contended buffer degrades to the shard-only PeekMax.
+func (q *Queue[V]) effectiveMax(i uint32) (uint64, bool) {
+	k, ok := q.shards[i].q.PeekMax()
+	if q.bufs == nil {
+		return k, ok
+	}
+	b := &q.bufs[i]
+	if !b.mu.TryLock() {
+		return k, ok
+	}
+	for _, e := range b.ext[b.extHead:] {
+		if !ok || e.Key > k {
+			k, ok = e.Key, true
+		}
+	}
+	for _, bk := range b.insKeys {
+		if !ok || bk > k {
+			k, ok = bk, true
+		}
+	}
+	b.mu.Unlock()
+	return k, ok
+}
+
+// bufferedLen returns the total number of buffered elements across all
+// shards (0 for unbuffered policies).
+func (q *Queue[V]) bufferedLen() int {
+	total := 0
+	for i := range q.bufs {
+		b := &q.bufs[i]
+		b.mu.Lock()
+		total += b.pending()
+		b.mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,174 @@
+package sharded
+
+import (
+	"repro/internal/core"
+)
+
+// Elastic shard-count controller (Policy.Elastic).
+//
+// The shard table is allocated at its configured capacity once; only the
+// *active* count — the prefix of shards eligible as insert homes and
+// choice-of-two candidates — moves. Extraction sweeps (argmax, steal)
+// always scan the full table, so elements stranded on a deactivated
+// shard by an in-flight placement or a partial migration remain
+// reachable, and the composed relaxation window keeps using the full
+// shard count S regardless of the active count: elasticity changes where
+// new work lands, never what the checker must bound.
+//
+// Signals, evaluated every Policy.ResizeEvery full sweeps under a
+// non-blocking trylock (at most one evaluator, everyone else skips):
+//
+//   - contention: buffer-trylock failures (plus the shards' insert-path
+//     trylock failures when metrics are enabled) as a percentage of
+//     operations since the last evaluation. High → grow, low → shrink.
+//   - imbalance: (max-min)/mean occupancy across the active shards. High
+//     imbalance with thread-affine inserts means more producers than
+//     homes → grow; shrinking is suppressed while imbalance is high.
+//
+// Shrinking deactivates the highest-indexed active shard and migrates its
+// elements into the remaining active shards through the batch path.
+// Migration is skipped when a WAL is attached: the extract-then-reinsert
+// log pair has a crash window in which an acked key has been logged as
+// consumed but not yet re-logged as inserted, which would break the
+// acked ⊆ recovered bound. Stranded elements are still served by sweeps,
+// so a durable elastic queue merely rebalances more slowly.
+
+// migrateChunk bounds one migration batch so a resize never holds up the
+// evaluating operation for more than a bounded burst.
+const migrateChunk = 256
+
+// activeShards returns the number of shards eligible for placement
+// (insert homes, choice-of-two candidates). Always the full table for
+// non-elastic policies.
+func (q *Queue[V]) activeShards() uint32 {
+	if !q.pol.Elastic {
+		return uint32(len(q.shards))
+	}
+	return q.active.Load()
+}
+
+// ActiveShards reports the current active shard count (== NumShards for
+// non-elastic policies).
+func (q *Queue[V]) ActiveShards() int { return int(q.activeShards()) }
+
+// maybeResize runs one controller evaluation. Called from the full-sweep
+// extraction path; the trylock keeps it off every other operation's
+// critical path.
+func (q *Queue[V]) maybeResize() {
+	if !q.resizeMu.TryLock() {
+		return
+	}
+	defer q.resizeMu.Unlock()
+
+	act := q.active.Load()
+	total := uint32(len(q.shards))
+	floor := uint32(q.pol.minShards())
+
+	fails := q.bufTryFail.Load() + q.coreTryLockFails()
+	dFail := q.failDelta.Observe(fails)
+	// Each full sweep represents ~S extractions on some context; use the
+	// sweep delta as the op-count basis so the rate is self-normalizing.
+	dOps := q.sweepDelta.Observe(q.fullSweeps.Load()) * uint64(total)
+	if dOps == 0 {
+		return
+	}
+	failPct := 100 * float64(dFail) / float64(dOps)
+	imb := q.activeImbalance(act)
+
+	switch {
+	case act < total && (failPct >= q.pol.growPct() || imb >= q.pol.growImbalance()):
+		q.active.Store(act + 1)
+		q.grows.Add(1)
+	case act > floor && failPct <= q.pol.shrinkPct() && imb < q.pol.growImbalance():
+		q.active.Store(act - 1)
+		q.shrinks.Add(1)
+		q.migrateShard(act - 1)
+	}
+}
+
+// coreTryLockFails sums the shards' insert-path trylock failure counters
+// when metrics are enabled (0 otherwise) — the second contention signal
+// feeding the controller.
+func (q *Queue[V]) coreTryLockFails() uint64 {
+	var total uint64
+	for i := range q.shards {
+		if m := q.shards[i].met; m != nil {
+			total += m.TryLockFail.Value()
+		}
+	}
+	return total
+}
+
+// activeImbalance is (max-min)/mean occupancy over the active shards,
+// clamped to 0 while the queue is too small for the signal to mean
+// anything (fewer than ~Batch+1 elements per active shard is just noise).
+func (q *Queue[V]) activeImbalance(act uint32) float64 {
+	if act < 2 {
+		return 0
+	}
+	var minLen, maxLen, total int
+	for i := uint32(0); i < act; i++ {
+		n := q.shards[i].q.Len()
+		total += n
+		if i == 0 || n < minLen {
+			minLen = n
+		}
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	if total < int(act)*(q.batch+1) {
+		return 0
+	}
+	mean := float64(total) / float64(act)
+	return float64(maxLen-minLen) / mean
+}
+
+// migrateShard evacuates a deactivated shard into the remaining active
+// shards through the batch path, buffered ops first. Skipped under a WAL
+// (see the package comment above); sweeps still serve whatever stays.
+func (q *Queue[V]) migrateShard(from uint32) {
+	if q.wal != nil {
+		return
+	}
+	var (
+		keys  []uint64
+		vals  []V
+		batch []core.Element[V]
+	)
+	if q.bufs != nil {
+		b := &q.bufs[from]
+		b.mu.Lock()
+		keys = append(keys, b.insKeys...)
+		vals = append(vals, b.insVals...)
+		b.insKeys, b.insVals = b.insKeys[:0], b.insVals[:0]
+		for _, e := range b.ext[b.extHead:] {
+			keys = append(keys, e.Key)
+			vals = append(vals, e.Val)
+		}
+		b.ext, b.extHead = b.ext[:0], 0
+		b.mu.Unlock()
+	}
+	target := uint32(0)
+	flush := func() {
+		if len(keys) == 0 {
+			return
+		}
+		q.shards[target].q.InsertBatch(keys, vals)
+		q.migrated.Add(uint64(len(keys)))
+		target = (target + 1) % q.active.Load()
+		keys, vals = keys[:0], vals[:0]
+	}
+	flush()
+	for {
+		batch = q.shards[from].q.ExtractBatch(batch[:0], migrateChunk)
+		if len(batch) == 0 {
+			return
+		}
+		for _, e := range batch {
+			keys = append(keys, e.Key)
+			vals = append(vals, e.Val)
+		}
+		flush()
+	}
+}

@@ -1,0 +1,215 @@
+package sharded
+
+import "fmt"
+
+// Policy tunes the sharded front-end's v2 operation machinery: sticky
+// shard selection, per-shard op buffers, and the elastic shard-count
+// controller. The zero value is exactly the v1 policy (choice-of-two on
+// every extraction, unbuffered direct shard ops, fixed shard count), so
+// existing configurations keep their behavior bit-for-bit.
+//
+// The MultiQueue line (Engineering MultiQueues, arXiv 2107.01350) shows
+// that after sharding itself, the remaining scalability sits in two
+// amortizations: reusing a chosen queue for several consecutive ops
+// (stickiness) and batching ops through small per-queue buffers so one
+// lock acquisition pays for N elements. Both widen the relaxation window
+// by a bounded, configurable amount — see WindowSlack for the math.
+type Policy struct {
+	// Sticky is the stickiness period in operations. A per-handle context
+	// that picks a shard (insert home, or extraction target) reuses it for
+	// the next Sticky-1 operations before re-picking, falling back early
+	// when the sticky shard runs empty or its buffer trylock fails.
+	// 0 disables stickiness (v1: permanent insert home, choice-of-two on
+	// every extraction).
+	Sticky int
+
+	// InsertBuffer is the per-shard insert buffer capacity. Inserts append
+	// to the home shard's buffer under a front-end trylock and the buffer
+	// is flushed through the shard's batch-native InsertBatch when full,
+	// at every full peek sweep, on Flush/SyncWAL, and during drains — so
+	// one shard lock acquisition amortizes up to InsertBuffer inserts.
+	// 0 disables insert buffering.
+	InsertBuffer int
+
+	// ExtractBuffer is the per-shard extract buffer capacity: a draw from
+	// a shard with an empty buffer refills it with up to ExtractBuffer
+	// elements through ExtractBatch and hands them out FIFO on subsequent
+	// draws. 0 disables extract buffering.
+	//
+	// Extract buffering is volatile-only: when a WAL is attached the
+	// front-end forces ExtractBuffer to 0, because a buffered-but-
+	// undelivered element has already been logged as consumed and would be
+	// lost by a crash, violating the acked ⊆ recovered recovery bound.
+	ExtractBuffer int
+
+	// Elastic enables the shard-count controller: the active shard set
+	// (the shards eligible as insert homes and choice-of-two candidates)
+	// grows on sustained buffer-trylock contention or occupancy imbalance
+	// and shrinks back when contention subsides, migrating a deactivated
+	// shard's elements through the batch path. Sweeps always scan the full
+	// shard table, so elements stranded on a deactivated shard are still
+	// found and the composed window bound keeps using the configured
+	// (maximum) shard count.
+	Elastic bool
+
+	// MinShards floors the active shard count when Elastic; 0 means 1.
+	MinShards int
+
+	// ResizeEvery is the number of full peek sweeps between controller
+	// evaluations; 0 means 64.
+	ResizeEvery int
+
+	// GrowPct grows the active set when buffer-trylock failures exceed
+	// this percentage of operations since the last evaluation; 0 means 5.
+	GrowPct float64
+
+	// ShrinkPct shrinks the active set when the failure percentage drops
+	// to or below this value (and imbalance is low); 0 means 0.5.
+	ShrinkPct float64
+
+	// GrowImbalance grows the active set when (max-min)/mean occupancy
+	// across the active shards exceeds this value; 0 means 1.5.
+	GrowImbalance float64
+}
+
+// Validate reports a descriptive error for nonsensical policies.
+func (p Policy) Validate() error {
+	switch {
+	case p.Sticky < 0 || p.Sticky > 4096:
+		return fmt.Errorf("sharded: Policy.Sticky is %d; it must be in [0, 4096]", p.Sticky)
+	case p.InsertBuffer < 0 || p.InsertBuffer > 4096:
+		return fmt.Errorf("sharded: Policy.InsertBuffer is %d; it must be in [0, 4096]", p.InsertBuffer)
+	case p.ExtractBuffer < 0 || p.ExtractBuffer > 4096:
+		return fmt.Errorf("sharded: Policy.ExtractBuffer is %d; it must be in [0, 4096]", p.ExtractBuffer)
+	case p.MinShards < 0:
+		return fmt.Errorf("sharded: Policy.MinShards is %d; it must be >= 0 (0 means 1)", p.MinShards)
+	case p.ResizeEvery < 0:
+		return fmt.Errorf("sharded: Policy.ResizeEvery is %d; it must be >= 0 (0 means 64)", p.ResizeEvery)
+	case p.GrowPct < 0 || p.ShrinkPct < 0 || p.GrowImbalance < 0:
+		return fmt.Errorf("sharded: Policy thresholds must be >= 0 (grow %v, shrink %v, imbalance %v)", p.GrowPct, p.ShrinkPct, p.GrowImbalance)
+	case p.ShrinkPct > 0 && p.GrowPct > 0 && p.ShrinkPct >= p.GrowPct:
+		return fmt.Errorf("sharded: Policy.ShrinkPct (%v) must be below Policy.GrowPct (%v) or the controller oscillates", p.ShrinkPct, p.GrowPct)
+	}
+	return nil
+}
+
+// buffered reports whether any op buffering is enabled.
+func (p Policy) buffered() bool { return p.InsertBuffer > 0 || p.ExtractBuffer > 0 }
+
+// Defaulted accessors: the zero value of each knob selects the documented
+// default so Policy literals stay terse.
+
+func (p Policy) minShards() int {
+	if p.MinShards < 1 {
+		return 1
+	}
+	return p.MinShards
+}
+
+func (p Policy) resizeEvery() uint64 {
+	if p.ResizeEvery <= 0 {
+		return 64
+	}
+	return uint64(p.ResizeEvery)
+}
+
+func (p Policy) growPct() float64 {
+	if p.GrowPct <= 0 {
+		return 5
+	}
+	return p.GrowPct
+}
+
+func (p Policy) shrinkPct() float64 {
+	if p.ShrinkPct <= 0 {
+		return 0.5
+	}
+	return p.ShrinkPct
+}
+
+func (p Policy) growImbalance() float64 {
+	if p.GrowImbalance <= 0 {
+		return 1.5
+	}
+	return p.GrowImbalance
+}
+
+// WindowSlack returns the additive widening of the composed relaxation
+// window caused by op buffering, for a front-end with the given shard
+// count: contract.Config.Buffer should be set to this value so the
+// checker verifies rank error ≤ S·(Batch+1) + WindowSlack.
+//
+// Derivation, for the strict single-consumer sections the contract
+// checker measures (E = ExtractBuffer, b = Batch, S = shards):
+//
+//   - Every S'th extraction is a full peek sweep that first flushes all
+//     insert buffers and then targets the argmax shard over the effective
+//     maxima (extract buffer ∪ shard PeekMax), so while the global
+//     maximum g is queued anywhere on shard i — insert buffer, tree, or
+//     extract buffer — shard i is drawn from at least once per S
+//     consecutive extractions (one sweep period aligns the flush: ≤ S ops
+//     until g has left the insert buffer).
+//   - A draw first serves the extract buffer FIFO: up to E stale elements
+//     before the shard itself is touched again.
+//   - Each refill performs E consecutive shard extractions, and the
+//     shard's own window guarantees its maximum within b+1 consecutive
+//     extractions, so g surfaces within ceil((b+1)/E)·E ≤ b+E
+//     post-refill draws.
+//
+// Draws needed from shard i: ≤ E (stale buffer) + b+E (refills), each
+// costing at most S consumer ops, plus the ≤ S flush-alignment ops:
+// W ≤ S·(b+1) + S·(2E+1). Hence WindowSlack = S·(2·ExtractBuffer+1) when
+// any buffering is enabled (the +1 term covers insert-buffer flush delay
+// when E = 0), and 0 for unbuffered policies, whose window is exactly
+// v1's S·(b+1).
+//
+// Elastic shrink migration can move g between shards mid-window; each
+// such event is bounded and rare (hysteresis, ResizeEvery spacing), but
+// strict checkers running against an Elastic policy should add further
+// Slack — see internal/harness.RunChaosSharded.
+func (p Policy) WindowSlack(shards int) int {
+	if !p.buffered() {
+		return 0
+	}
+	return shards * (2*p.ExtractBuffer + 1)
+}
+
+// PolicyNames lists the preset names understood by ParsePolicy.
+func PolicyNames() []string { return []string{"v1", "sticky", "buffered", "elastic", "v2"} }
+
+// ParsePolicy resolves a preset name to a Policy:
+//
+//	v1        zero policy: per-op choice-of-two, unbuffered, fixed shards
+//	sticky    8-op sticky shard selection, unbuffered
+//	buffered  sticky plus 16-element insert / 8-element extract buffers
+//	elastic   buffered plus the elastic shard-count controller
+//	v2        alias for elastic
+//
+// The empty string parses as v1.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "", "v1":
+		return Policy{}, nil
+	case "sticky":
+		return Policy{Sticky: 8}, nil
+	case "buffered":
+		return Policy{Sticky: 8, InsertBuffer: 16, ExtractBuffer: 8}, nil
+	case "elastic", "v2":
+		return Policy{Sticky: 8, InsertBuffer: 16, ExtractBuffer: 8, Elastic: true}, nil
+	}
+	return Policy{}, fmt.Errorf("sharded: unknown policy %q (want one of %v)", name, PolicyNames())
+}
+
+// Name returns the canonical preset name for p, or "custom" when p does
+// not match a preset. The zero policy is "v1".
+func (p Policy) Name() string {
+	for _, n := range PolicyNames() {
+		if n == "v2" {
+			continue // alias of elastic
+		}
+		if pp, err := ParsePolicy(n); err == nil && pp == p {
+			return n
+		}
+	}
+	return "custom"
+}

@@ -1,0 +1,415 @@
+package sharded
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/core"
+)
+
+func TestPolicyParseAndName(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", name, err)
+		}
+		want := name
+		if name == "v2" {
+			want = "elastic" // v2 is an alias; Name canonicalizes
+		}
+		if got := p.Name(); got != want {
+			t.Errorf("ParsePolicy(%q).Name() = %q, want %q", name, got, want)
+		}
+	}
+	if p, err := ParsePolicy(""); err != nil || p != (Policy{}) {
+		t.Fatalf("empty name: %+v, %v", p, err)
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("unknown policy name accepted")
+	}
+	if got := (Policy{Sticky: 3}).Name(); got != "custom" {
+		t.Fatalf("non-preset policy Name() = %q, want custom", got)
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	bad := []Policy{
+		{Sticky: -1},
+		{Sticky: 5000},
+		{InsertBuffer: -1},
+		{ExtractBuffer: 5000},
+		{MinShards: -1},
+		{ResizeEvery: -1},
+		{GrowPct: -1},
+		{GrowPct: 2, ShrinkPct: 2}, // shrink >= grow oscillates
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", p)
+		}
+	}
+	for _, name := range PolicyNames() {
+		p, _ := ParsePolicy(name)
+		if err := p.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+	}
+	cfg := testCfg(2, 4)
+	cfg.Policy = Policy{Elastic: true, MinShards: 3}
+	if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "MinShards") {
+		t.Fatalf("MinShards > Shards accepted: %v", err)
+	}
+}
+
+func TestWindowSlack(t *testing.T) {
+	if got := (Policy{Sticky: 8}).WindowSlack(4); got != 0 {
+		t.Fatalf("unbuffered WindowSlack = %d, want 0", got)
+	}
+	// Buffered: S·(2E+1).
+	p, _ := ParsePolicy("buffered")
+	if got, want := p.WindowSlack(4), 4*(2*8+1); got != want {
+		t.Fatalf("buffered WindowSlack = %d, want %d", got, want)
+	}
+	// Insert-only buffering still pays the flush-alignment term.
+	if got, want := (Policy{InsertBuffer: 16}).WindowSlack(3), 3; got != want {
+		t.Fatalf("insert-only WindowSlack = %d, want %d", got, want)
+	}
+}
+
+// TestBufferedComposedWindowContract is the composed-window property test
+// for the v2 policies: a concurrent mixed phase through the op buffers,
+// then a strict single-consumer drain verified against the widened bound
+// S·(Batch+1) + Policy.WindowSlack (elastic policies add the migration
+// restart slack, mirroring harness.RunChaosSharded).
+func TestBufferedComposedWindowContract(t *testing.T) {
+	const (
+		shards  = 4
+		batch   = 8
+		workers = 4
+		perW    = 3000
+	)
+	for _, name := range []string{"buffered", "v2"} {
+		t.Run(name, func(t *testing.T) {
+			pol, err := ParsePolicy(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := testCfg(shards, batch)
+			cfg.Policy = pol
+			q := New[struct{}](cfg)
+			slack := 0
+			if pol.Elastic {
+				slack = shards * (batch + 1)
+			}
+			ck := contract.NewChecker(contract.Config{
+				Batch:  batch,
+				Shards: shards,
+				Buffer: pol.WindowSlack(shards),
+				Slack:  slack,
+			})
+
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					r := ck.Recorder()
+					for i := 0; i < perW; i++ {
+						k := uint64(w*perW + i)
+						r.WillInsert(k)
+						q.Insert(k, struct{}{})
+						r.DidInsert()
+						if i%3 == 0 {
+							r.WillExtract()
+							kk, _, ok := q.TryExtractMax()
+							r.DidExtract(kk, ok)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			// The property is vacuous if the workload never exercised the
+			// buffers: prove at least one buffered flush happened.
+			if q.bufFlushes.Load() == 0 {
+				t.Fatal("workload never flushed an op buffer")
+			}
+			if err := q.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Warm-up flush sized to the widened window, then the strict
+			// single-consumer drain. The drain goes through the normal
+			// extraction path, so buffered elements are handed out too.
+			r := ck.Recorder()
+			for i := 0; i < shards*(batch+1)+pol.WindowSlack(shards); i++ {
+				r.WillExtract()
+				k, _, ok := q.TryExtractMax()
+				r.DidExtract(k, ok)
+				if !ok {
+					break
+				}
+			}
+			ck.BeginStrict()
+			for {
+				r.WillExtract()
+				k, _, ok := q.TryExtractMax()
+				r.DidExtract(k, ok)
+				if !ok {
+					break
+				}
+			}
+			ck.EndStrict()
+
+			rep, err := ck.Verify()
+			if err != nil {
+				t.Fatalf("contract violated: %v\nworst run %d, strict extracts %d", err, rep.WorstRun, rep.StrictExtracts)
+			}
+			if rep.Remaining != 0 {
+				t.Fatalf("%d elements lost", rep.Remaining)
+			}
+			if rep.StrictExtracts == 0 {
+				t.Fatal("strict phase observed no extractions")
+			}
+			t.Logf("policy %s: strict extracts %d, worst run %d (bound %d+%d+%d)",
+				name, rep.StrictExtracts, rep.WorstRun, shards*(batch+1)-1, pol.WindowSlack(shards), slack)
+		})
+	}
+}
+
+// TestBufferedInsertsSurviveCloseAndDrain pins the drain story: elements
+// still sitting in op buffers — never flushed into any shard — must come
+// back out of CloseAndDrain.
+func TestBufferedInsertsSurviveCloseAndDrain(t *testing.T) {
+	cfg := testCfg(4, 4)
+	cfg.Policy, _ = ParsePolicy("buffered")
+	q := New[int](cfg)
+
+	// Three inserts on one handle stay below every flush trigger, so all
+	// three are provably still buffered.
+	for i := 1; i <= 3; i++ {
+		q.Insert(uint64(i), i)
+	}
+	if got := q.bufferedLen(); got != 3 {
+		t.Fatalf("bufferedLen = %d, want 3 (inserts bypassed the buffer?)", got)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	out := q.CloseAndDrain()
+	if len(out) != 3 {
+		t.Fatalf("CloseAndDrain returned %d elements, want 3", len(out))
+	}
+
+	// Larger run: park elements in extract buffers too, then drain.
+	q2 := New[int](cfg)
+	const n = 500
+	for i := 1; i <= n; i++ {
+		q2.Insert(uint64(i), i)
+	}
+	if _, _, ok := q2.TryExtractMax(); !ok {
+		t.Fatal("extract failed on nonempty queue")
+	}
+	if q2.bufferedLen() == 0 {
+		t.Fatal("no elements buffered after a draw with ExtractBuffer > 0")
+	}
+	seen := make(map[uint64]bool, n)
+	for _, e := range q2.CloseAndDrain() {
+		if seen[e.Key] {
+			t.Fatalf("key %d drained twice", e.Key)
+		}
+		seen[e.Key] = true
+	}
+	if len(seen) != n-1 {
+		t.Fatalf("drained %d distinct keys, want %d", len(seen), n-1)
+	}
+	if !q2.Empty() {
+		t.Fatal("queue nonempty after CloseAndDrain")
+	}
+}
+
+// TestBufferedInsertsSurviveWALRecovery pins the durability story: SyncWAL
+// flushes buffered inserts into the logging shards before it syncs, so an
+// acked insert is recoverable even though it was buffered when it
+// returned; and a WAL-attached queue must run with extract buffering
+// degraded to write-through.
+func TestBufferedInsertsSurviveWALRecovery(t *testing.T) {
+	cfg := testCfg(3, 4)
+	cfg.Policy, _ = ParsePolicy("buffered")
+	cfg.Queue.Durability = &core.DurabilityConfig{
+		WAL:         true,
+		Dir:         t.TempDir(),
+		GroupCommit: time.Millisecond,
+	}
+	q, err := NewDurable[struct{}](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := q.Policy().ExtractBuffer; e != 0 {
+		t.Fatalf("ExtractBuffer = %d under WAL, want 0 (volatile draws would lose logged extracts)", e)
+	}
+	const n = 100
+	for i := 1; i <= n; i++ {
+		q.Insert(uint64(i), struct{}{})
+	}
+	if q.bufferedLen() == 0 {
+		t.Fatal("no buffered inserts before SyncWAL — the property is vacuous")
+	}
+	if err := q.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.bufferedLen(); got != 0 {
+		t.Fatalf("SyncWAL left %d buffered inserts unlogged", got)
+	}
+	if err := q.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	q2, st, err := Recover[struct{}](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.CloseWAL()
+	if len(st.Keys) != n {
+		t.Fatalf("recovered %d keys, want %d", len(st.Keys), n)
+	}
+	seen := make(map[uint64]bool, n)
+	for {
+		k, _, ok := q2.TryExtractMax()
+		if !ok {
+			break
+		}
+		if seen[k] || k < 1 || k > n {
+			t.Fatalf("bad recovered key %d", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("recovered queue drained %d keys, want %d", len(seen), n)
+	}
+}
+
+// TestElasticShrinkAndConservation drains a queue single-threaded — zero
+// contention — and expects the controller to shrink the active set while
+// migration keeps every element reachable exactly once.
+func TestElasticShrinkAndConservation(t *testing.T) {
+	cfg := testCfg(4, 4)
+	cfg.Policy = Policy{Sticky: 4, InsertBuffer: 4, ExtractBuffer: 2, Elastic: true, ResizeEvery: 2}
+	q := New[int](cfg)
+	if q.ActiveShards() != 4 {
+		t.Fatalf("ActiveShards = %d at start, want 4", q.ActiveShards())
+	}
+	const n = 5000
+	for i := 1; i <= n; i++ {
+		q.Insert(uint64(i), i)
+	}
+	seen := make(map[uint64]bool, n)
+	for {
+		k, _, ok := q.TryExtractMax()
+		if !ok {
+			break
+		}
+		if seen[k] {
+			t.Fatalf("key %d extracted twice across a migration", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("extracted %d distinct keys, want %d", len(seen), n)
+	}
+	if q.shrinks.Load() == 0 {
+		t.Fatal("contention-free drain never shrank the active set")
+	}
+	if a := q.ActiveShards(); a < 1 || a > 4 {
+		t.Fatalf("ActiveShards = %d outside [1, 4]", a)
+	}
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestElasticGrowOnContention injects buffer-trylock failures and expects
+// the controller to grow the active set back out.
+func TestElasticGrowOnContention(t *testing.T) {
+	cfg := testCfg(4, 4)
+	cfg.Policy = Policy{Sticky: 4, InsertBuffer: 4, ExtractBuffer: 2, Elastic: true, ResizeEvery: 1, MinShards: 2}
+	q := New[int](cfg)
+	q.active.Store(2) // start shrunk, as if contention had been low
+	for i := 1; i <= 200; i++ {
+		q.Insert(uint64(i), i)
+	}
+	for i := 0; i < 60; i++ {
+		q.bufTryFail.Add(10000) // sustained contention signal
+		if _, _, ok := q.TryExtractMax(); !ok {
+			t.Fatalf("extract %d failed on nonempty queue", i)
+		}
+	}
+	if q.grows.Load() == 0 {
+		t.Fatal("sustained trylock failures never grew the active set")
+	}
+	if a := q.ActiveShards(); a != 4 {
+		t.Fatalf("ActiveShards = %d under sustained contention, want 4", a)
+	}
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeactivatedShardsStillServed strands elements on shards outside the
+// active prefix and checks the full-table sweeps still find them — the
+// reachability property the elastic window argument rests on.
+func TestDeactivatedShardsStillServed(t *testing.T) {
+	cfg := testCfg(4, 4)
+	cfg.Policy = Policy{Sticky: 4, InsertBuffer: 4, ExtractBuffer: 2, Elastic: true, ResizeEvery: 1 << 20}
+	q := New[int](cfg)
+	const n = 400
+	for i := 1; i <= n; i++ {
+		q.Insert(uint64(i), i)
+	}
+	q.Flush()
+	q.active.Store(1) // deactivate shards 1-3 without migrating
+	seen := make(map[uint64]bool, n)
+	for {
+		k, _, ok := q.TryExtractMax()
+		if !ok {
+			break
+		}
+		seen[k] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("drained %d distinct keys with a shrunk active set, want %d", len(seen), n)
+	}
+}
+
+// TestV2Snapshot checks the sharding v2 telemetry surfaces in Snapshot and
+// the Prometheus rendering.
+func TestV2Snapshot(t *testing.T) {
+	cfg := testCfg(4, 4)
+	cfg.Policy, _ = ParsePolicy("v2")
+	q := New[int](cfg)
+	for i := 1; i <= 100; i++ {
+		q.Insert(uint64(i), i)
+	}
+	s := q.Snapshot()
+	if s.Policy != "elastic" {
+		t.Fatalf("snapshot policy = %q, want elastic", s.Policy)
+	}
+	if s.ActiveShards < 1 || s.ActiveShards > 4 {
+		t.Fatalf("snapshot active shards = %d", s.ActiveShards)
+	}
+	if s.Buffered == 0 {
+		t.Fatal("snapshot shows no buffered elements after unflushed inserts")
+	}
+	var sb strings.Builder
+	if err := s.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{"zmsq_sharded_active_shards", "zmsq_sharded_buffered", "zmsq_sharded_buf_flushes_total"} {
+		if !strings.Contains(sb.String(), metric) {
+			t.Fatalf("prometheus output missing %s:\n%s", metric, sb.String())
+		}
+	}
+}
