@@ -182,12 +182,20 @@ func main() {
 	}
 	wg.Wait()
 
-	// Graceful shutdown: close, then drain whatever the workload left
-	// queued through the context-aware extraction capability — the same
-	// loop works for both substrates, classifying outcomes with the pq
-	// sentinels rather than concrete queue types.
+	// Graceful shutdown: close, flush, then drain whatever the workload
+	// left queued through the context-aware extraction capability — the
+	// same loop works for both substrates, classifying outcomes with the
+	// pq sentinels rather than concrete queue types. The flush must come
+	// before the drain: buffered-policy shards (sharded v2) hold inserts in
+	// per-shard buffers that a TryLock-skipping drain can miss, and SyncWAL
+	// below would push them back into the queue *after* the drain reported
+	// completion — leaving the log non-empty and the printed drain count
+	// short.
 	if c, ok := q.(pq.Closer); ok {
 		c.Close()
+	}
+	if f, ok := q.(pq.Flusher); ok {
+		f.Flush()
 	}
 	drained := 0
 	if ce, ok := q.(pq.ContextExtractor); ok {

@@ -11,7 +11,7 @@ type GateResult struct {
 	Name string `json:"name"`
 	Kind string `json:"kind"`
 	// Metric names what Value measures ("overhead_pct", "speedup",
-	// "allocs/op", "failed_cells").
+	// "allocs/op", "failed_cells", "p99_ms").
 	Metric    string  `json:"metric"`
 	Value     float64 `json:"value"`
 	Threshold float64 `json:"threshold"`
@@ -103,6 +103,45 @@ func (g GateSpec) Eval(grid *GridResult) (GateResult, error) {
 		res.Value = worst
 		res.Pass = worst <= g.Threshold
 		res.Detail = fmt.Sprintf("worst cell %s at %.4f (limit %.4f)", worstCell, worst, g.Threshold)
+	case "latency":
+		filter := map[string]bool{}
+		for _, v := range g.Variants {
+			filter[v] = true
+		}
+		worst, worstCell, found := 0.0, "", false
+		for _, c := range grid.Cells {
+			if c.Cell.Experiment != g.Experiment {
+				continue
+			}
+			if len(filter) > 0 && !filter[c.Cell.Variant] {
+				continue
+			}
+			if c.Error != "" {
+				res.Metric = "p99_ms"
+				res.Pass = false
+				res.Detail = fmt.Sprintf("cell %s qps=%d errored: %s", c.Cell.Variant, c.Cell.QPS, c.Error)
+				return res, nil
+			}
+			if !found || c.Value > worst {
+				worst = c.Value
+				worstCell = fmt.Sprintf("%s qps=%d", c.Cell.Variant, c.Cell.QPS)
+				found = true
+			}
+		}
+		if !found {
+			return res, fmt.Errorf("gate %q: grid has no cells for %q variants %v", g.Name, g.Experiment, g.Variants)
+		}
+		res.Metric = "p99_ms"
+		res.Value = worst
+		res.Pass = worst <= g.Threshold
+		res.Detail = fmt.Sprintf("worst open-loop p99 %.2fms at %s (limit %.2fms)", worst, worstCell, g.Threshold)
+		if g.MinCores > 0 && grid.Env.Cores < g.MinCores {
+			// The measurement ran and is recorded; only the verdict is
+			// withheld — a small runner's p99 says nothing about capacity.
+			res.Skipped = true
+			res.Pass = true
+			res.SkipReason = fmt.Sprintf("%d cores < required %d", grid.Env.Cores, g.MinCores)
+		}
 	case "pass":
 		total, failed := 0, 0
 		var firstErr string

@@ -53,6 +53,15 @@ func Rows(grid *GridResult) []harness.Row {
 			row.Metrics["pass"] = c.Value
 			row.Metrics["atRisk"] = c.Extra["at_risk"]
 			row.Metrics["opsPerSync"] = c.Extra["ops_per_sync"]
+		case "service":
+			row.Labels["qps"] = strconv.Itoa(c.Cell.QPS)
+			row.Labels["clients"] = strconv.Itoa(c.Cell.Clients)
+			row.Labels["tenants"] = strconv.Itoa(c.Cell.Tenants)
+			row.Labels["shards"] = strconv.Itoa(c.Cell.Shards)
+			row.Metrics["p99ms"] = c.Value
+			row.Metrics["p50ms"] = c.Extra["p50_ms"]
+			row.Metrics["achievedQPS"] = c.Extra["achieved_qps"]
+			row.Metrics["batchP50"] = c.Extra["batch_p50"]
 		}
 		rows = append(rows, row)
 	}
@@ -61,6 +70,7 @@ func Rows(grid *GridResult) []harness.Row {
 
 var validUnits = map[string]bool{
 	"ops/s": true, "ns/handoff": true, "hit_pct": true, "allocs/op": true, "pass": true,
+	"p99_ms": true,
 }
 
 // ValidateGrid checks a grid result against the canonical schema — shape,

@@ -63,6 +63,9 @@ type Cell struct {
 	Consumers  int    `json:"consumers,omitempty"`
 	Op         string `json:"op,omitempty"`
 	CrashKind  string `json:"crash_kind,omitempty"`
+	QPS        int    `json:"qps,omitempty"`
+	Clients    int    `json:"clients,omitempty"`
+	Tenants    int    `json:"tenants,omitempty"`
 	Repeats    int    `json:"repeats,omitempty"`
 	Seed       uint64 `json:"seed"`
 }
@@ -72,7 +75,7 @@ type Cell struct {
 type CellResult struct {
 	Cell Cell `json:"cell"`
 	// Unit names what Value measures: "ops/s", "ns/handoff", "hit_pct",
-	// "allocs/op", "pass".
+	// "allocs/op", "pass", "p99_ms".
 	Unit    string    `json:"unit"`
 	Samples []float64 `json:"samples"`
 	// Statistic says how Value was chosen from Samples: "best" or "mean".
@@ -133,6 +136,8 @@ func (s *Spec) Run(names []string, opt Options) (*GridResult, error) {
 			cells, err = runAllocExperiment(ex, sc, opt)
 		case "recovery":
 			cells, err = runRecoveryExperiment(ex, sc, opt)
+		case "service":
+			cells, err = runService(ex, sc, opt)
 		default:
 			err = fmt.Errorf("unknown kind %q", ex.Kind)
 		}

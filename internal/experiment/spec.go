@@ -72,7 +72,7 @@ type Scale struct {
 type Experiment struct {
 	Name string `json:"name"`
 	// Kind is one of "throughput", "paired", "accuracy", "handoff",
-	// "alloc", "recovery".
+	// "alloc", "recovery", "service".
 	Kind string `json:"kind"`
 	// Paper marks experiments belonging to the paper-reproduction grid
 	// that cmd/runall renders into EXPERIMENTS.md's tables and figures.
@@ -97,6 +97,13 @@ type Experiment struct {
 	Ratios [][2]int `json:"ratios,omitempty"`
 	// Ops overrides the scale's operation count for this experiment.
 	Ops int `json:"ops,omitempty"`
+	// QPS lists the offered-load sweep of a service-kind experiment
+	// (requests/second per cell); empty means one 20 000 QPS point.
+	QPS []int `json:"qps,omitempty"`
+	// Clients is the service kind's concurrent connection count (0 = 4).
+	Clients int `json:"clients,omitempty"`
+	// TenantCount is the service kind's tenant count (0 = 2).
+	TenantCount int `json:"tenants,omitempty"`
 	// Repeats overrides the scale's sample/round count for this
 	// experiment (gate experiments pin it so verdict fidelity does not
 	// change with -scale).
@@ -171,6 +178,8 @@ type GateSpec struct {
 	//   "speedup":  best(Test)/best(Base) >= Threshold (skipped below MinCores)
 	//   "max":      max cell value (over Variants, if set) <= Threshold
 	//   "pass":     every cell must pass (recovery conservation)
+	//   "latency":  worst cell p99 (ms, over Variants if set) <= Threshold,
+	//               zero errored cells (skipped below MinCores)
 	Kind       string `json:"kind"`
 	Experiment string `json:"experiment"`
 	// Base and Test name the two variants of a paired experiment.
@@ -194,7 +203,7 @@ type GateSpec struct {
 
 var kinds = map[string]bool{
 	"throughput": true, "paired": true, "accuracy": true,
-	"handoff": true, "alloc": true, "recovery": true,
+	"handoff": true, "alloc": true, "recovery": true, "service": true,
 }
 
 // LoadSpec reads a grid spec from path, or the embedded default grid when
@@ -281,7 +290,7 @@ func (s *Spec) Validate() error {
 				return fmt.Errorf("gate %q: base %q / test %q must name variants of %q",
 					g.Name, g.Base, g.Test, g.Experiment)
 			}
-		case "max":
+		case "max", "latency":
 			for _, name := range g.Variants {
 				if ex.variant(name) == nil {
 					return fmt.Errorf("gate %q: filter names unknown variant %q", g.Name, name)

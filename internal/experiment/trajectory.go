@@ -129,6 +129,7 @@ type Regression struct {
 	Why string
 }
 
+// String renders the regression as "gate: prev -> cur (why)".
 func (r Regression) String() string {
 	return fmt.Sprintf("%s: %.4f -> %.4f (%s)", r.Gate, r.Prev, r.Cur, r.Why)
 }

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pq"
+	"repro/internal/sharded"
+	"repro/internal/wal"
+)
+
+// TestShardedFlushBeforeDrain pins the shutdown ordering zmsqserve and
+// zmsqd rely on: with a buffered policy, inserts can sit in per-shard op
+// buffers at shutdown, and a drain that runs before Flush can miss them
+// (a later SyncWAL would then push them back into the queue after the
+// drain reported completion). The wrapper must expose pq.Flusher, and
+// Close → Flush must leave zero buffered elements so the following drain
+// sees every insert.
+func TestShardedFlushBeforeDrain(t *testing.T) {
+	pol, err := sharded.ParsePolicy("v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qcfg := core.DefaultConfig()
+	qcfg.Durability = &core.DurabilityConfig{WAL: true, Dir: t.TempDir(), GroupCommit: wal.DefaultGroupCommit}
+	sq, err := sharded.NewDurable[struct{}](sharded.Config{
+		Shards: 2, Queue: qcfg, Policy: pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := WrapSharded(sq, "flush-pin")
+
+	const n = 37 // below the insert-buffer capacity, so nothing auto-flushes
+	for i := 1; i <= n; i++ {
+		q.Insert(uint64(i) << 8)
+	}
+	if got := sq.Snapshot().Buffered; got == 0 {
+		t.Fatal("no buffered inserts; policy v2 stopped buffering and this pin no longer tests the flush ordering")
+	}
+
+	// The exact sequence zmsqserve runs: Close, Flush (via the capability
+	// interface — main never sees the concrete type), then drain.
+	if c, ok := any(q).(pq.Closer); !ok {
+		t.Fatal("harness.Sharded lost pq.Closer")
+	} else {
+		c.Close()
+	}
+	f, ok := any(q).(pq.Flusher)
+	if !ok {
+		t.Fatal("harness.Sharded does not implement pq.Flusher")
+	}
+	f.Flush()
+	if got := sq.Snapshot().Buffered; got != 0 {
+		t.Fatalf("%d elements still buffered after Flush", got)
+	}
+
+	drained := 0
+	ctx := context.Background()
+	for {
+		_, err := q.ExtractMaxContext(ctx)
+		if err != nil {
+			if !pq.IsClosed(err) {
+				t.Fatalf("drain: %v", err)
+			}
+			break
+		}
+		drained++
+	}
+	if drained != n {
+		t.Fatalf("drained %d of %d inserts — buffered elements escaped the drain", drained, n)
+	}
+	// Sync after the drain must not resurrect anything: the flush already
+	// emptied the buffers, so the queue stays drained.
+	if err := sq.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Q.Len(); got != 0 {
+		t.Fatalf("queue has %d elements after drain+sync; SyncWAL re-injected buffered inserts", got)
+	}
+	if err := sq.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+}

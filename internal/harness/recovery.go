@@ -53,6 +53,7 @@ func Kinds() []CrashKind {
 	return []CrashKind{CrashMidAppend, CrashMidFsync, CrashMidSnapshot, CrashTornTail}
 }
 
+// String names the crash kind for reports and spec files.
 func (k CrashKind) String() string {
 	switch k {
 	case CrashMidAppend:

@@ -1,0 +1,258 @@
+// Package loadgen is the open-loop load generator for zmsqd. Open-loop
+// means arrivals are scheduled by a Poisson process at the target rate,
+// independent of how fast the server answers — the generator does not
+// wait for a response before sending the next request, so a slowing
+// server accumulates queueing delay instead of silently throttling the
+// offered load. Latency is measured from each request's *scheduled*
+// arrival time, not its send time: when the generator falls behind (or
+// the server pushes back), that waiting is part of what a real client
+// would experience and is included in the percentiles. The closed-loop
+// throughput harness (internal/harness) answers "how fast can the queue
+// go"; this package answers "what latency does a user see at X QPS" —
+// the complementary question the paper's server-scale motivation
+// actually poses.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/wire"
+	"repro/internal/xrand"
+)
+
+// Config parameterizes one open-loop run.
+type Config struct {
+	// Addr is the zmsqd address to load.
+	Addr string
+	// Tenants are assigned to clients round-robin (each connection sticks
+	// to one tenant); at least one. Use Clients >= len(Tenants) to load
+	// every tenant.
+	Tenants []string
+	// Clients is the number of concurrent connections. Each runs an
+	// independent Poisson arrival process at TargetQPS/Clients, whose
+	// superposition is a Poisson process at TargetQPS.
+	Clients int
+	// TargetQPS is the offered load in requests per second across all
+	// clients.
+	TargetQPS int
+	// Ops is the total number of requests to send across all clients.
+	Ops int
+	// InsertPct is the percentage of requests that are inserts (the rest
+	// are ExtractMax). 100 is all-insert.
+	InsertPct int
+	// Seed makes the arrival schedule and key stream reproducible.
+	Seed uint64
+}
+
+// Result summarizes one run.
+type Result struct {
+	// TargetQPS echoes the configured offered load.
+	TargetQPS int `json:"target_qps"`
+	// Clients echoes the connection count.
+	Clients int `json:"clients"`
+	// Sent is the number of requests put on the wire.
+	Sent int `json:"sent"`
+	// OK, Empty, Overloaded count the response statuses received.
+	OK         int `json:"ok"`
+	Empty      int `json:"empty"`
+	Overloaded int `json:"overloaded"`
+	// Errors counts transport/protocol failures (any is a run failure).
+	Errors int `json:"errors"`
+	// Elapsed is the wall time from first scheduled arrival to last
+	// response.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// AchievedQPS is Sent/Elapsed — below target when the generator
+	// could not keep the schedule.
+	AchievedQPS float64 `json:"achieved_qps"`
+	// P50/P95/P99/Max are response-latency quantiles in milliseconds,
+	// measured from scheduled arrival to response (open-loop latency).
+	P50Millis float64 `json:"p50_ms"`
+	P95Millis float64 `json:"p95_ms"`
+	P99Millis float64 `json:"p99_ms"`
+	MaxMillis float64 `json:"max_ms"`
+	// MeanMillis is the mean open-loop latency in milliseconds.
+	MeanMillis float64 `json:"mean_ms"`
+}
+
+// inflight pairs a pipelined request with its scheduled arrival time.
+type inflight struct {
+	p         *wire.Pending
+	scheduled time.Time
+}
+
+// Run drives one open-loop load test and blocks until every response is
+// in (or a client dies). Latencies are recorded in microseconds into a
+// log2 histogram, so quantiles are exact to a factor of two.
+func Run(cfg Config) (Result, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if len(cfg.Tenants) == 0 {
+		return Result{}, fmt.Errorf("loadgen: at least one tenant required")
+	}
+	if cfg.TargetQPS <= 0 {
+		return Result{}, fmt.Errorf("loadgen: TargetQPS must be positive")
+	}
+	if cfg.Ops <= 0 {
+		return Result{}, fmt.Errorf("loadgen: Ops must be positive")
+	}
+
+	var (
+		hist    metrics.Histogram
+		mu      sync.Mutex
+		res     = Result{TargetQPS: cfg.TargetQPS, Clients: cfg.Clients}
+		maxLat  time.Duration
+		wg      sync.WaitGroup
+		start   = time.Now()
+		perConn = cfg.Ops / cfg.Clients
+	)
+	for ci := 0; ci < cfg.Clients; ci++ {
+		ops := perConn
+		if ci == 0 {
+			ops += cfg.Ops % cfg.Clients // remainder rides on client 0
+		}
+		if ops == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(ci, ops int) {
+			defer wg.Done()
+			r := runClient(cfg, ci, ops, start, &hist)
+			mu.Lock()
+			res.Sent += r.Sent
+			res.OK += r.OK
+			res.Empty += r.Empty
+			res.Overloaded += r.Overloaded
+			res.Errors += r.Errors
+			if r.maxLat > maxLat {
+				maxLat = r.maxLat
+			}
+			mu.Unlock()
+		}(ci, ops)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if s := res.Elapsed.Seconds(); s > 0 {
+		res.AchievedQPS = float64(res.Sent) / s
+	}
+	hs := hist.Snapshot()
+	res.P50Millis = float64(hs.Quantile(0.50)) / 1000
+	res.P95Millis = float64(hs.Quantile(0.95)) / 1000
+	res.P99Millis = float64(hs.Quantile(0.99)) / 1000
+	res.MeanMillis = hs.Mean() / 1000
+	res.MaxMillis = float64(maxLat.Microseconds()) / 1000
+	return res, nil
+}
+
+// clientResult is one connection's tallies.
+type clientResult struct {
+	Sent, OK, Empty, Overloaded, Errors int
+	maxLat                              time.Duration
+}
+
+// runClient runs one connection's Poisson arrival process: schedule the
+// next arrival, sleep until it (never past it — lateness is queueing
+// delay the latency measurement must keep), pipeline the request, and
+// flush when the schedule allows. A separate receiver goroutine awaits
+// responses in send order and records open-loop latency.
+func runClient(cfg Config, ci, ops int, start time.Time, hist *metrics.Histogram) clientResult {
+	var cr clientResult
+	c, err := wire.Dial(cfg.Addr)
+	if err != nil {
+		cr.Errors++
+		return cr
+	}
+	defer c.Close()
+
+	rng := xrand.New(cfg.Seed + uint64(ci)*0x9e3779b97f4a7c15)
+	// Each connection belongs to one tenant, round-robin over the list —
+	// like a real multi-tenant deployment, and a prerequisite for the
+	// server's coalescer, which only folds consecutive same-tenant inserts.
+	tenant := cfg.Tenants[ci%len(cfg.Tenants)]
+	// Per-client rate; the superposition of the clients' independent
+	// exponential clocks is a Poisson process at the full TargetQPS.
+	lambda := float64(cfg.TargetQPS) / float64(cfg.Clients)
+
+	pending := make(chan inflight, ops)
+	recvDone := make(chan clientResult, 1)
+	go func() {
+		var rr clientResult
+		shard := uint32(ci)
+		for f := range pending {
+			resp, err := f.p.Wait()
+			if err != nil {
+				rr.Errors++
+				continue
+			}
+			lat := time.Since(f.scheduled)
+			if lat < 0 {
+				lat = 0
+			}
+			hist.Observe(shard, uint64(lat.Microseconds()))
+			if lat > rr.maxLat {
+				rr.maxLat = lat
+			}
+			switch resp.Status {
+			case wire.StatusOK:
+				rr.OK++
+			case wire.StatusEmpty:
+				rr.Empty++
+			case wire.StatusOverloaded:
+				rr.Overloaded++
+			default:
+				rr.Errors++
+			}
+		}
+		recvDone <- rr
+	}()
+
+	next := start
+	for i := 0; i < ops; i++ {
+		// Exponential inter-arrival: -ln(U)/λ seconds. Guard U=0.
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		next = next.Add(time.Duration(-math.Log(u) / lambda * float64(time.Second)))
+		onSchedule := false
+		if d := time.Until(next); d > 0 {
+			onSchedule = true
+			time.Sleep(d)
+		}
+		req := wire.Request{Op: wire.OpExtractMax, Tenant: tenant}
+		if int(rng.Uint64n(100)) < cfg.InsertPct {
+			req = wire.Request{Op: wire.OpInsert, Tenant: tenant, Key: rng.Uint64() >> 16}
+		}
+		p, err := c.Start(req)
+		if err != nil {
+			cr.Errors++
+			break
+		}
+		cr.Sent++
+		pending <- inflight{p: p, scheduled: next}
+		// Flush only when the schedule gave the wire a gap: arrivals that
+		// bunched up (the sender was behind schedule) stay buffered and
+		// reach the server back to back, which is exactly what its
+		// coalescer wants. The write buffer self-flushes when full, so an
+		// unflushed backlog is bounded.
+		if onSchedule || i+1 >= ops {
+			if err := c.Flush(); err != nil {
+				cr.Errors++
+				break
+			}
+		}
+	}
+	_ = c.Flush()
+	close(pending)
+	rr := <-recvDone
+	cr.OK = rr.OK
+	cr.Empty = rr.Empty
+	cr.Overloaded = rr.Overloaded
+	cr.Errors += rr.Errors
+	cr.maxLat = rr.maxLat
+	return cr
+}

@@ -1,0 +1,84 @@
+package loadgen
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/sharded"
+)
+
+// TestOpenLoopAgainstServer runs the generator against a real in-process
+// zmsqd and checks conservation of responses and sane latencies.
+func TestOpenLoopAgainstServer(t *testing.T) {
+	s, _, err := server.New(server.Config{
+		Tenants: []string{"a", "b"},
+		Queue:   sharded.Config{Shards: 2, Queue: core.DefaultConfig()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	defer func() {
+		if err := s.Shutdown(); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	res, err := Run(Config{
+		Addr:      ln.Addr().String(),
+		Tenants:   []string{"a", "b"},
+		Clients:   4,
+		TargetQPS: 20000,
+		Ops:       4000,
+		InsertPct: 70,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("protocol errors: %d (%+v)", res.Errors, res)
+	}
+	if res.Sent != 4000 {
+		t.Fatalf("sent %d, want 4000", res.Sent)
+	}
+	if res.OK+res.Empty+res.Overloaded != res.Sent {
+		t.Fatalf("responses %d+%d+%d != sent %d", res.OK, res.Empty, res.Overloaded, res.Sent)
+	}
+	if res.OK == 0 {
+		t.Fatal("no request succeeded")
+	}
+	if res.AchievedQPS <= 0 {
+		t.Fatalf("achieved qps %.1f", res.AchievedQPS)
+	}
+	// Quantiles are monotone and the max bounds them all.
+	if res.P50Millis > res.P95Millis || res.P95Millis > res.P99Millis {
+		t.Fatalf("quantiles not monotone: %+v", res)
+	}
+	if res.MaxMillis < res.P50Millis/2 {
+		t.Fatalf("max %.3fms below p50 %.3fms", res.MaxMillis, res.P50Millis)
+	}
+}
+
+// TestRunValidation pins the config error paths.
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Addr: "x", Clients: 1, TargetQPS: 1, Ops: 1}); err == nil {
+		t.Fatal("missing tenants accepted")
+	}
+	if _, err := Run(Config{Addr: "x", Tenants: []string{"a"}, Clients: 1, Ops: 1}); err == nil {
+		t.Fatal("zero qps accepted")
+	}
+	if _, err := Run(Config{Addr: "x", Tenants: []string{"a"}, Clients: 1, TargetQPS: 1}); err == nil {
+		t.Fatal("zero ops accepted")
+	}
+}

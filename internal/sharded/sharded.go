@@ -181,7 +181,17 @@ type opCtx struct {
 // New returns an empty sharded queue configured by cfg. Like core.New it
 // panics on an invalid configuration; callers with external input should
 // run Config.Validate first.
-func New[V any](cfg Config) *Queue[V] {
+func New[V any](cfg Config) *Queue[V] { return NewWithDomain[V](cfg, nil) }
+
+// NewWithDomain is New with an explicit allocation domain: every shard of
+// the returned queue — and, when multiple queues are built over the same
+// domain, every shard of every such queue — shares ad's hazard-pointer
+// domain, freelist, and node caches. This is how a multi-tenant server
+// keeps N tenant queues on one memory-reclamation substrate instead of N
+// (see internal/server). A nil ad builds a private domain (== New).
+// Panics if ad's mode (set mode, leakiness) does not match cfg.Queue —
+// the same compatibility contract as core.NewWithDomain.
+func NewWithDomain[V any](cfg Config, ad *core.AllocDomain[V]) *Queue[V] {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -193,7 +203,9 @@ func New[V any](cfg Config) *Queue[V] {
 	if err != nil {
 		panic(err)
 	}
-	ad := core.NewAllocDomain[V](cfg.Queue)
+	if ad == nil {
+		ad = core.NewAllocDomain[V](cfg.Queue)
+	}
 	q := &Queue[V]{
 		shards:   make([]shardSlot[V], cfg.Shards),
 		cfg:      cfg,

@@ -47,6 +47,14 @@ func openSharedWAL(cfg Config) (w core.WALPolicy, owned bool, err error) {
 // opened first, the queue built bare, and the policy attached — the same
 // shape as core.NewDurable and Recover below.
 func NewDurable[V any](cfg Config) (*Queue[V], error) {
+	return NewDurableWithDomain[V](cfg, nil)
+}
+
+// NewDurableWithDomain is NewDurable over a shared allocation domain
+// (see NewWithDomain): each durable tenant queue of a multi-tenant
+// server gets its own log while all of them share one memory-reclamation
+// substrate. A nil ad builds a private domain.
+func NewDurableWithDomain[V any](cfg Config, ad *core.AllocDomain[V]) (*Queue[V], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -57,7 +65,7 @@ func NewDurable[V any](cfg Config) (*Queue[V], error) {
 	bare := cfg
 	bare.Queue.Durability = nil
 	bare.Queue.WAL = nil
-	q := New[V](bare)
+	q := NewWithDomain[V](bare, ad)
 	if w != nil {
 		for i := range q.shards {
 			q.shards[i].q.AttachWAL(w, false)
@@ -125,6 +133,15 @@ func (q *Queue[V]) WALStats() (wal.Stats, bool) {
 // reopened log attached as the shared shard policy. See core.Recover for
 // the single-queue version and the ordering argument.
 func Recover[V any](cfg Config) (*Queue[V], *wal.State, error) {
+	return RecoverWithDomain[V](cfg, nil)
+}
+
+// RecoverWithDomain is Recover over a shared allocation domain (see
+// NewWithDomain): the recovered multiset is re-inserted bare — before
+// the reopened log is attached, so recovery never re-logs what the log
+// already holds — into a queue whose shards allocate from ad. A nil ad
+// builds a private domain.
+func RecoverWithDomain[V any](cfg Config, ad *core.AllocDomain[V]) (*Queue[V], *wal.State, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -140,7 +157,7 @@ func Recover[V any](cfg Config) (*Queue[V], *wal.State, error) {
 	bare := cfg
 	bare.Queue.Durability = nil
 	bare.Queue.WAL = nil
-	q := New[V](bare)
+	q := NewWithDomain[V](bare, ad)
 	q.InsertBatch(st.Keys, nil)
 
 	l, owned, err := openSharedWAL(cfg)
