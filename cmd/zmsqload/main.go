@@ -36,6 +36,8 @@ func main() {
 		ops     = flag.Int("ops", 20000, "requests per sweep point")
 		mix     = flag.Int("mix", 70, "insert percentage of the request mix (rest are extracts)")
 		seed    = flag.Uint64("seed", 1, "arrival-schedule and key RNG seed")
+		valueB  = flag.Int("valuebytes", 0, "attach a deterministic key-derived payload of this many bytes to every insert (0 = key-only)")
+		verify  = flag.Bool("verify", false, "check every extracted payload byte-exact against the key-derived generator; mismatches fail the run")
 		outPath = flag.String("out", "", "write the sweep results as JSON here")
 		maxP99  = flag.Float64("maxp99", 0, "exit non-zero when any point's p99 exceeds this many ms (0 = no bound)")
 	)
@@ -61,6 +63,7 @@ func main() {
 		res, err := loadgen.Run(loadgen.Config{
 			Addr: *addr, Tenants: names, Clients: *clients,
 			TargetQPS: target, Ops: *ops, InsertPct: *mix, Seed: *seed,
+			ValueBytes: *valueB, VerifyValues: *verify,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "zmsqload:", err)
@@ -73,6 +76,13 @@ func main() {
 		if res.Errors > 0 {
 			fmt.Fprintf(os.Stderr, "zmsqload: qps=%d had %d protocol/transport errors\n", target, res.Errors)
 			failed = true
+		}
+		if *verify {
+			fmt.Printf("zmsqload: qps=%d verified=%d mismatched=%d payloads byte-exact\n", target, res.Verified, res.Mismatched)
+			if res.Mismatched > 0 {
+				fmt.Fprintf(os.Stderr, "zmsqload: qps=%d had %d payload mismatches\n", target, res.Mismatched)
+				failed = true
+			}
 		}
 		if *maxP99 > 0 && res.P99Millis > *maxP99 {
 			fmt.Fprintf(os.Stderr, "zmsqload: qps=%d p99 %.2fms exceeds bound %.2fms\n", target, res.P99Millis, *maxP99)

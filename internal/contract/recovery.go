@@ -1,6 +1,9 @@
 package contract
 
-import "fmt"
+import (
+	"bytes"
+	"fmt"
+)
 
 // Recovery verification. After a crash, the recovered queue must conserve
 // the durable multiset: no acknowledged insert may be lost, nothing may be
@@ -31,6 +34,12 @@ type RecoverySpec struct {
 	// UnackedInserts / UnackedExtracts were issued but their sync never
 	// completed; the crash may have preserved or discarded them.
 	UnackedInserts, UnackedExtracts map[uint64]int
+	// ValueFor, when non-nil, is the deterministic key→payload generator
+	// every insert of the run used. VerifyRecovery then checks value
+	// fidelity on top of conservation: each recovered instance's payload
+	// must be byte-exact ValueFor(key) — a durable ack covers the bytes,
+	// not just the key. nil skips the value check (key-only runs).
+	ValueFor func(key uint64) []byte
 	// MaxViolations bounds retained violation messages (count stays
 	// exact). Zero selects 16.
 	MaxViolations int
@@ -46,6 +55,10 @@ type RecoveryReport struct {
 	// elements the crash was allowed to decide either way (sum over keys
 	// of upper − lower). 0 means the outcome was fully determined.
 	AtRisk int
+	// ValuesChecked counts recovered instances whose payload was compared
+	// byte-exact against the spec's ValueFor generator (0 when the spec
+	// has none).
+	ValuesChecked int
 	// Violations holds up to MaxViolations messages; ViolationCount is
 	// exact.
 	Violations     []string
@@ -61,9 +74,13 @@ func (r *RecoveryReport) violate(max int, format string, args ...any) {
 
 // VerifyRecovery checks the recovered key multiset against the operation
 // census. recovered is the rebuilt queue's full content (duplicates
-// meaningful, order not). It returns a non-nil error if any key's
-// recovered count falls outside its conservation window.
-func VerifyRecovery(spec RecoverySpec, recovered []uint64) (RecoveryReport, error) {
+// meaningful, order not); vals, when the spec carries a ValueFor
+// generator, is the payload of each recovered instance aligned with
+// recovered (nil vals with a generator is itself a violation — the
+// durable payloads were stripped). It returns a non-nil error if any
+// key's recovered count falls outside its conservation window or any
+// recovered payload differs from what was durably acknowledged.
+func VerifyRecovery(spec RecoverySpec, recovered []uint64, vals [][]byte) (RecoveryReport, error) {
 	max := spec.MaxViolations
 	if max == 0 {
 		max = 16
@@ -115,8 +132,25 @@ func VerifyRecovery(spec RecoverySpec, recovered []uint64) (RecoveryReport, erro
 			rep.AtRisk += upper - lower
 		}
 	}
+	// Value fidelity: a durable acknowledgement covers an element's bytes,
+	// not just its key, so every recovered instance must carry exactly the
+	// payload its (deterministic) insert logged.
+	if spec.ValueFor != nil {
+		if vals == nil && len(recovered) > 0 {
+			rep.violate(max, "recovered state carries no payloads but the workload inserted values for all %d instances", len(recovered))
+		} else {
+			for i, k := range recovered {
+				want := spec.ValueFor(k)
+				if !bytes.Equal(vals[i], want) {
+					rep.violate(max, "key %d: recovered payload %q, want byte-exact %q", k, vals[i], want)
+					continue
+				}
+				rep.ValuesChecked++
+			}
+		}
+	}
 	if rep.ViolationCount > 0 {
-		return rep, fmt.Errorf("contract: recovery broke conservation for %d key(s); first: %s", rep.ViolationCount, rep.Violations[0])
+		return rep, fmt.Errorf("contract: recovery broke conservation or value fidelity for %d key(s); first: %s", rep.ViolationCount, rep.Violations[0])
 	}
 	return rep, nil
 }

@@ -13,10 +13,12 @@ func TestVerifyRecovery(t *testing.T) {
 		}
 		return out
 	}
+	vf := func(key uint64) []byte { return []byte{byte(key), byte(key >> 8), 0xab} }
 	cases := []struct {
 		name      string
 		spec      RecoverySpec
 		recovered []uint64
+		vals      [][]byte
 		wantErr   string // substring of the error, "" for pass
 	}{
 		{
@@ -120,10 +122,39 @@ func TestVerifyRecovery(t *testing.T) {
 			recovered: nil,
 			wantErr:   "census inconsistent",
 		},
+		{
+			name: "value fidelity holds",
+			spec: RecoverySpec{
+				AckedInserts: m(1, 1, 2, 1),
+				ValueFor:     vf,
+			},
+			recovered: []uint64{1, 2},
+			vals:      [][]byte{vf(1), vf(2)},
+		},
+		{
+			name: "recovered payload corrupted",
+			spec: RecoverySpec{
+				AckedInserts: m(1, 1),
+				ValueFor:     vf,
+			},
+			recovered: []uint64{1},
+			vals:      [][]byte{{0xde, 0xad}},
+			wantErr:   "want byte-exact",
+		},
+		{
+			name: "payloads stripped entirely",
+			spec: RecoverySpec{
+				AckedInserts: m(1, 1),
+				ValueFor:     vf,
+			},
+			recovered: []uint64{1},
+			vals:      nil,
+			wantErr:   "carries no payloads",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			rep, err := VerifyRecovery(tc.spec, tc.recovered)
+			rep, err := VerifyRecovery(tc.spec, tc.recovered, tc.vals)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("VerifyRecovery = %v, want pass (report %+v)", err, rep)
@@ -145,7 +176,7 @@ func TestVerifyRecoveryAtRisk(t *testing.T) {
 		AckedInserts:    map[uint64]int{1: 1},
 		UnackedInserts:  map[uint64]int{2: 1},
 		UnackedExtracts: map[uint64]int{1: 1},
-	}, []uint64{1})
+	}, []uint64{1}, nil)
 	if err != nil {
 		t.Fatalf("VerifyRecovery: %v", err)
 	}

@@ -27,12 +27,19 @@ func (q *Queue[V]) InsertBatch(keys []uint64, vals []V) {
 	if vals != nil && len(vals) != len(keys) {
 		panic("zmsq: InsertBatch called with len(vals) != len(keys)")
 	}
+	ctx := q.getCtx()
 	if q.wal != nil {
 		// One record for the whole batch, logged before any element
 		// becomes visible — the group-commit amortization lever.
-		q.wal.AppendInsertBatch(keys)
+		if q.codec != nil && vals != nil {
+			q.appendValuedBatch(ctx, keys, vals)
+		} else {
+			// No payloads to carry (vals == nil inserts zero values, which
+			// is exactly what a key-only record recovers to), or no codec:
+			// the v1 key-only record, bit-identical to pre-codec logs.
+			q.wal.AppendInsertBatch(keys)
+		}
 	}
-	ctx := q.getCtx()
 	for i, k := range keys {
 		e := element[V]{key: k}
 		if vals != nil {
@@ -47,6 +54,30 @@ func (q *Queue[V]) InsertBatch(keys []uint64, vals []V) {
 		for range keys {
 			q.ring.Signal()
 		}
+	}
+}
+
+// appendValuedBatch logs one valued batch record: every payload is
+// encoded into the context's arena first (appends can grow/move it, so
+// the member views are sliced out only after the last encode), then the
+// whole batch goes to the WAL as aligned key/value columns. The WAL
+// copies the bytes before returning, so the scratch is free for reuse.
+func (q *Queue[V]) appendValuedBatch(ctx *opCtx[V], keys []uint64, vals []V) {
+	ctx.venc = ctx.venc[:0]
+	ctx.voffs = ctx.voffs[:0]
+	for _, v := range vals {
+		ctx.venc = q.codec.Append(ctx.venc, v)
+		ctx.voffs = append(ctx.voffs, len(ctx.venc))
+	}
+	ctx.vptrs = ctx.vptrs[:0]
+	prev := 0
+	for _, end := range ctx.voffs {
+		ctx.vptrs = append(ctx.vptrs, ctx.venc[prev:end:end])
+		prev = end
+	}
+	q.wal.AppendInsertBatchValues(keys, ctx.vptrs)
+	for i := range ctx.vptrs {
+		ctx.vptrs[i] = nil // drop the arena views until the next batch
 	}
 }
 

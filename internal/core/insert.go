@@ -14,12 +14,18 @@ import (
 // Insert adds (key, val) to the queue. In blocking mode it also wakes one
 // sleeping consumer if any is waiting for this element.
 func (q *Queue[V]) Insert(key uint64, val V) {
+	ctx := q.getCtx()
 	if q.wal != nil {
 		// Log before the element becomes visible: its insert record must
 		// precede any extract record a concurrent consumer could produce.
-		q.wal.AppendInsert(key)
+		// (Taking the context first is fine — getCtx publishes nothing.)
+		if q.codec != nil {
+			ctx.venc = q.codec.Append(ctx.venc[:0], val)
+			q.wal.AppendInsertValue(key, ctx.venc)
+		} else {
+			q.wal.AppendInsert(key)
+		}
 	}
-	ctx := q.getCtx()
 	q.insert(ctx, element[V]{key: key, val: val})
 	q.putCtx(ctx)
 	if q.ring != nil {

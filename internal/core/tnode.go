@@ -232,6 +232,14 @@ type opCtx[V any] struct {
 	// wkeys is ExtractBatch's key scratch for batch WAL records;
 	// allocated only when the queue has a durability policy.
 	wkeys []uint64
+	// Valued-insert encoding scratch, allocated only when a payload
+	// codec is attached: venc is the arena the codec appends encoded
+	// payloads into, voffs the end offset of each member in it, vptrs
+	// the per-member views handed to AppendInsertBatchValues. The WAL
+	// copies the bytes before returning, so the arena is reused freely.
+	venc  []byte
+	voffs []int
+	vptrs [][]byte
 	// sctr drives the metrics rank-error sampler: one in rankSampleEvery
 	// extractions on this context records a sample (see Metrics.RankError).
 	sctr uint32

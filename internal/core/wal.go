@@ -28,7 +28,19 @@ type WALPolicy interface {
 	// so a later Sync cannot falsely acknowledge.
 	AppendInsert(key uint64)
 	AppendInsertBatch(keys []uint64)
+	// AppendInsertValue and AppendInsertBatchValues are the valued
+	// variants: each inserted key carries its payload's encoded bytes
+	// (wal record format v2). The queue calls them instead of the
+	// key-only appends when a Codec is attached (AttachCodec); val bytes
+	// are consumed before the call returns, so callers may reuse the
+	// backing buffer. A nil vals[i] logs an empty payload — the valued
+	// record kind is uniform per call, not per member.
+	AppendInsertValue(key uint64, val []byte)
+	AppendInsertBatchValues(keys []uint64, vals [][]byte)
 	// AppendExtract logs one extracted key; AppendExtractBatch a batch.
+	// Extract records stay key-only in both formats: replay only needs
+	// to know which instance died, and the insert record already carries
+	// the bytes.
 	AppendExtract(key uint64)
 	AppendExtractBatch(keys []uint64)
 	// Sync makes every append that returned before the call durable.
@@ -166,6 +178,20 @@ func (q *Queue[V]) AttachWAL(w WALPolicy, owned bool) {
 	q.walOwned = owned
 }
 
+// AttachCodec attaches the payload codec the durability layer logs
+// values through: with a codec set, Insert and InsertBatch encode each
+// element's payload and log it alongside the key (wal record format
+// v2), and recovery hands the bytes back through Codec.Decode. Without
+// one the queue logs key-only v1 records and recovery restores zero
+// values — the original key-only protocol, bit-identical on disk.
+//
+// Like AttachWAL it must be called before the queue is shared (the
+// constructors NewDurableCodec/RecoverCodec do both). Config cannot
+// carry the codec because Config is not generic over V.
+func (q *Queue[V]) AttachCodec(c wal.Codec[V]) {
+	q.codec = c
+}
+
 // WALStats reports the underlying wal.Log's activity counters, when the
 // attached policy is one (ok=false otherwise, including without a WAL).
 func (q *Queue[V]) WALStats() (wal.Stats, bool) {
@@ -180,6 +206,14 @@ func (q *Queue[V]) WALStats() (wal.Stats, bool) {
 // log — instead of panicking, which matters for serving tools pointed at
 // an operator-supplied directory.
 func NewDurable[V any](cfg Config) (*Queue[V], error) {
+	return NewDurableCodec[V](cfg, nil)
+}
+
+// NewDurableCodec is NewDurable with a payload codec attached: every
+// insert logs its value's encoded bytes alongside the key, so a later
+// RecoverCodec restores the payloads byte-exactly. A nil codec is
+// exactly NewDurable — key-only v1 records, zero values on recovery.
+func NewDurableCodec[V any](cfg Config, codec wal.Codec[V]) (*Queue[V], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -191,6 +225,7 @@ func NewDurable[V any](cfg Config) (*Queue[V], error) {
 	bare.Durability = nil
 	bare.WAL = nil
 	q := New[V](bare)
+	q.AttachCodec(codec)
 	if w != nil {
 		q.AttachWAL(w, owned)
 	}
@@ -198,14 +233,27 @@ func NewDurable[V any](cfg Config) (*Queue[V], error) {
 }
 
 // Recover rebuilds a durable queue from cfg.Durability.Dir: the durable
-// key multiset is recovered from snapshot + log, re-inserted (with zero
-// payload values — see the wal package doc on key-only durability), and
-// the reopened log attached so new operations continue the LSN sequence.
-// The recovered keys are deliberately NOT re-logged: they are already in
-// the log, and re-appending them would double-count on the next
+// element multiset is recovered from the snapshot chain + log,
+// re-inserted, and the reopened log attached so new operations continue
+// the LSN sequence. Without a codec the payloads recover as zero values
+// (the key-only protocol; a directory holding v2 value records is
+// rejected rather than silently dropped — use RecoverCodec). The
+// recovered elements are deliberately NOT re-logged: they are already
+// in the log, and re-appending them would double-count on the next
 // recovery. cfg must have Durability.WAL set. The returned wal.State
 // describes what was recovered.
 func Recover[V any](cfg Config) (*Queue[V], *wal.State, error) {
+	return RecoverCodec[V](cfg, nil)
+}
+
+// RecoverCodec is Recover with a payload codec: each recovered
+// instance's logged bytes are decoded back into its V and re-inserted
+// with its key, so the rebuilt queue holds the same (key, value) pairs
+// the crashed one had durably acknowledged. Key-only instances (v1
+// records, or valued queues that logged before a codec existed) recover
+// as zero values. The codec is attached to the returned queue, so new
+// inserts keep logging values.
+func RecoverCodec[V any](cfg Config, codec wal.Codec[V]) (*Queue[V], *wal.State, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -217,12 +265,17 @@ func Recover[V any](cfg Config) (*Queue[V], *wal.State, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	vals, err := DecodeRecovered[V](st, codec)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	bare := cfg
 	bare.Durability = nil
 	bare.WAL = nil
 	q := New[V](bare)
-	q.InsertBatch(st.Keys, nil)
+	q.AttachCodec(codec)
+	q.InsertBatch(st.Keys, vals)
 
 	l, _, err := cfg.openWAL()
 	if err != nil {
@@ -230,4 +283,31 @@ func Recover[V any](cfg Config) (*Queue[V], *wal.State, error) {
 	}
 	q.AttachWAL(l, true)
 	return q, st, nil
+}
+
+// DecodeRecovered turns a recovered state's raw payload bytes into the
+// value slice InsertBatch wants, aligned with State.Keys. nil
+// State.Vals (a key-only directory) yields nil — zero values, the v1
+// behavior. Payload bytes without a codec are an error: recovery must
+// not silently discard durably acknowledged data. Exported for the
+// recovery paths that wrap this package (sharded.RecoverCodec).
+func DecodeRecovered[V any](st *wal.State, codec wal.Codec[V]) ([]V, error) {
+	if st.Vals == nil {
+		return nil, nil
+	}
+	if codec == nil {
+		return nil, errors.New("zmsq: recovered state carries value payloads but no codec is configured; use RecoverCodec")
+	}
+	vals := make([]V, len(st.Keys))
+	for i, b := range st.Vals {
+		if b == nil {
+			continue // payload-less instance: zero value
+		}
+		v, err := codec.Decode(b)
+		if err != nil {
+			return nil, fmt.Errorf("zmsq: recover: decoding payload of key %d: %w", st.Keys[i], err)
+		}
+		vals[i] = v
+	}
+	return vals, nil
 }

@@ -147,6 +147,10 @@ func (r *walRecorder) AppendInsertBatch(keys []uint64) {
 	}
 	r.mu.Unlock()
 }
+func (r *walRecorder) AppendInsertValue(key uint64, _ []byte) { r.AppendInsert(key) }
+func (r *walRecorder) AppendInsertBatchValues(keys []uint64, _ [][]byte) {
+	r.AppendInsertBatch(keys)
+}
 func (r *walRecorder) AppendExtract(key uint64) {
 	r.mu.Lock()
 	// The ordering contract: an extract append can never precede its

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/locks"
 	"repro/internal/waitring"
+	"repro/internal/wal"
 	"repro/internal/xrand"
 )
 
@@ -45,6 +46,10 @@ type Queue[V any] struct {
 	// only syncs it (Config.WAL, externally owned).
 	wal      WALPolicy
 	walOwned bool
+	// codec encodes payloads for valued WAL records (AttachCodec); nil
+	// keeps the log key-only. Checked only inside q.wal != nil branches,
+	// so codec-off costs nothing on the hot paths.
+	codec wal.Codec[V]
 
 	ctxs    sync.Pool
 	seedCtr atomic.Uint64
@@ -126,6 +131,15 @@ func NewWithDomain[V any](cfg Config, ad *AllocDomain[V]) *Queue[V] {
 			// Scratch for ExtractBatch's one-record-per-batch logging;
 			// only paid for when durability is on.
 			c.wkeys = make([]uint64, 0, cfg.Batch+1)
+			if q.codec != nil {
+				// Valued-insert encoding scratch: one arena the codec
+				// appends into plus the per-member views handed to the
+				// WAL. Sized for a batch; they grow to steady state if
+				// payloads are larger.
+				c.venc = make([]byte, 0, 4096)
+				c.voffs = make([]int, 0, cfg.Batch+1)
+				c.vptrs = make([][]byte, 0, cfg.Batch+1)
+			}
 		}
 		return c
 	}

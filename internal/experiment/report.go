@@ -50,6 +50,7 @@ func Rows(grid *GridResult) []harness.Row {
 		case "recovery":
 			row.Labels["crash"] = c.Cell.CrashKind
 			row.Labels["shards"] = strconv.Itoa(c.Cell.Shards)
+			row.Labels["valueBytes"] = strconv.Itoa(c.Cell.ValueBytes)
 			row.Metrics["pass"] = c.Value
 			row.Metrics["atRisk"] = c.Extra["at_risk"]
 			row.Metrics["opsPerSync"] = c.Extra["ops_per_sync"]

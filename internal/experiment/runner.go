@@ -63,6 +63,7 @@ type Cell struct {
 	Consumers  int    `json:"consumers,omitempty"`
 	Op         string `json:"op,omitempty"`
 	CrashKind  string `json:"crash_kind,omitempty"`
+	ValueBytes int    `json:"value_bytes,omitempty"`
 	QPS        int    `json:"qps,omitempty"`
 	Clients    int    `json:"clients,omitempty"`
 	Tenants    int    `json:"tenants,omitempty"`

@@ -113,6 +113,9 @@ type Experiment struct {
 	// Shards is the sharded shape the recovery kind sweeps next to the
 	// single-queue shape.
 	Shards int `json:"shards,omitempty"`
+	// ValueSizes are the per-insert payload sizes (bytes) the recovery
+	// kind sweeps; 0 is the key-only v1 protocol. Empty means {0}.
+	ValueSizes []int `json:"value_sizes,omitempty"`
 	// Config is the experiment-wide queue configuration (recovery kind).
 	Config *QueueConfig `json:"config,omitempty"`
 	// Variants are the grid cells' queue constructors.

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"runtime"
@@ -82,6 +83,12 @@ type RecoveryPlan struct {
 	Producers, Consumers int
 	// ChunkSize is the number of operations between acknowledgment syncs.
 	ChunkSize int
+	// ValueBytes > 0 makes every insert carry a deterministic key-derived
+	// payload of this many bytes (logged through wal.BytesCodec, record
+	// format v2), and recovery additionally asserts byte-exact value
+	// fidelity: each recovered instance's payload must equal its key's
+	// generator output. 0 keeps the key-only v1 protocol.
+	ValueBytes int
 	// MaxChunks caps chunks per worker: the fault kinds loop until the
 	// crash fires (erroring at the cap); CrashTornTail runs exactly this
 	// many chunks and then tears the tail.
@@ -153,6 +160,8 @@ type RecoveryResult struct {
 	Name string `json:"name"`
 	Kind string `json:"kind"`
 	Seed uint64 `json:"seed"`
+	// ValueBytes is the per-insert payload size (0 = key-only v1 records).
+	ValueBytes int `json:"value_bytes"`
 	// Inserted and Extracted count physical operations performed
 	// pre-crash (acked or not).
 	Inserted  int `json:"inserted"`
@@ -171,13 +180,31 @@ type RecoveryResult struct {
 }
 
 // recoveryTarget is the queue surface the harness needs; both
-// core.Queue[struct{}] and sharded.Queue[struct{}] satisfy it.
+// core.Queue[[]byte] and sharded.Queue[[]byte] satisfy it. The element
+// type is []byte even for key-only plans (nil values, no codec, v1
+// records on disk) so one workload covers both protocols.
 type recoveryTarget interface {
-	Insert(key uint64, val struct{})
-	TryExtractMax() (key uint64, val struct{}, ok bool)
-	Drain() []core.Element[struct{}]
+	Insert(key uint64, val []byte)
+	TryExtractMax() (key uint64, val []byte, ok bool)
+	Drain() []core.Element[[]byte]
 	CheckInvariants() error
 	Close()
+}
+
+// RecoveryValueFor is the deterministic key→payload generator valued
+// recovery plans insert with: n bytes mixed from the key alone, so the
+// verifier can re-derive any instance's expected payload without a
+// ledger of the actual bytes.
+func RecoveryValueFor(key uint64, n int) []byte {
+	b := make([]byte, n)
+	x := key ^ 0x6a09e667f3bcc908
+	for i := range b {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		b[i] = byte(x)
+	}
+	return b
 }
 
 // tally is one worker's ledger of operations by acknowledgment status.
@@ -209,7 +236,7 @@ func settle(pending []uint64, acked, unacked map[uint64]int, ok bool) {
 // check that the rebuilt queue's content matches the recovered state.
 func RunRecovery(plan RecoveryPlan) (RecoveryResult, error) {
 	plan = plan.withDefaults()
-	res := RecoveryResult{Kind: plan.Kind.String(), Seed: plan.Seed}
+	res := RecoveryResult{Kind: plan.Kind.String(), Seed: plan.Seed, ValueBytes: plan.ValueBytes}
 	if plan.Dir == "" {
 		return res, errors.New("recovery: RecoveryPlan.Dir is required")
 	}
@@ -225,12 +252,25 @@ func RunRecovery(plan RecoveryPlan) (RecoveryResult, error) {
 	cfg.Faults = inj
 	cfg.Durability = nil
 	cfg.WAL = log // external policy: the harness keeps the handle for crash control
+	// valueFor is nil for key-only plans; valued plans log through
+	// BytesCodec and every insert carries valueFor(key).
+	var valueFor func(key uint64) []byte
+	var codec wal.Codec[[]byte]
+	if plan.ValueBytes > 0 {
+		n := plan.ValueBytes
+		valueFor = func(key uint64) []byte { return RecoveryValueFor(key, n) }
+		codec = wal.BytesCodec{}
+	}
 	var q recoveryTarget
 	if plan.Shards > 1 {
-		q = sharded.New[struct{}](sharded.Config{Shards: plan.Shards, Queue: cfg})
+		sq := sharded.New[[]byte](sharded.Config{Shards: plan.Shards, Queue: cfg})
+		sq.AttachCodec(codec)
+		q = sq
 		res.Name = fmt.Sprintf("sharded(%d)", plan.Shards)
 	} else {
-		q = core.New[struct{}](cfg)
+		cq := core.New[[]byte](cfg)
+		cq.AttachCodec(codec)
+		q = cq
 		res.Name = VariantName(cfg)
 	}
 	defer q.Close()
@@ -264,7 +304,11 @@ func RunRecovery(plan RecoveryPlan) (RecoveryResult, error) {
 					seq++
 					key := uint64(id+1)<<32 | seq
 					pending = append(pending, key)
-					q.Insert(key, struct{}{})
+					var val []byte
+					if valueFor != nil {
+						val = valueFor(key)
+					}
+					q.Insert(key, val)
 				}
 				err := log.Sync()
 				settle(pending, t.ackedIns, t.unackedIns, err == nil)
@@ -316,7 +360,11 @@ func RunRecovery(plan RecoveryPlan) (RecoveryResult, error) {
 		for i := 0; i < 2*plan.ChunkSize; i++ {
 			key := uint64(len(tallies)+1)<<32 | uint64(i+1)
 			main.unackedIns[key]++
-			q.Insert(key, struct{}{})
+			var val []byte
+			if valueFor != nil {
+				val = valueFor(key)
+			}
+			q.Insert(key, val)
 		}
 		log.ForceCrash()
 	}
@@ -375,9 +423,9 @@ func RunRecovery(plan RecoveryPlan) (RecoveryResult, error) {
 		st *wal.State
 	)
 	if plan.Shards > 1 {
-		rq, st, err = sharded.Recover[struct{}](sharded.Config{Shards: plan.Shards, Queue: rcfg})
+		rq, st, err = sharded.RecoverCodec[[]byte](sharded.Config{Shards: plan.Shards, Queue: rcfg}, codec)
 	} else {
-		rq, st, err = core.Recover[struct{}](rcfg)
+		rq, st, err = core.RecoverCodec[[]byte](rcfg, codec)
 	}
 	if err != nil {
 		return res, fmt.Errorf("recovery(%s/%s): %w", res.Name, res.Kind, err)
@@ -386,7 +434,8 @@ func RunRecovery(plan RecoveryPlan) (RecoveryResult, error) {
 	res.TornBytes = st.TornBytes
 	res.SnapshotLSN = st.SnapshotLSN
 
-	rep, verr := contract.VerifyRecovery(spec, st.Keys)
+	spec.ValueFor = valueFor
+	rep, verr := contract.VerifyRecovery(spec, st.Keys, st.Vals)
 	res.Report = rep
 	if verr != nil {
 		return res, fmt.Errorf("recovery(%s/%s): %w", res.Name, res.Kind, verr)
@@ -400,6 +449,14 @@ func RunRecovery(plan RecoveryPlan) (RecoveryResult, error) {
 	drained := map[uint64]int{}
 	for _, e := range rq.Drain() {
 		drained[e.Key]++
+		// The rebuilt queue must hold the decoded payloads too, not just
+		// the recovered state slice the verifier saw.
+		if valueFor != nil {
+			if want := valueFor(e.Key); !bytes.Equal(e.Val, want) {
+				return res, fmt.Errorf("recovery(%s/%s): rebuilt queue holds payload %q for key %d, want byte-exact %q",
+					res.Name, res.Kind, e.Val, e.Key, want)
+			}
+		}
 	}
 	want := map[uint64]int{}
 	for _, k := range st.Keys {

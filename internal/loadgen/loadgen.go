@@ -14,6 +14,7 @@
 package loadgen
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"sync"
@@ -44,8 +45,32 @@ type Config struct {
 	// InsertPct is the percentage of requests that are inserts (the rest
 	// are ExtractMax). 100 is all-insert.
 	InsertPct int
+	// ValueBytes, when > 0, attaches a value payload of exactly this many
+	// bytes to every insert, derived deterministically from the key (see
+	// ValueFor) — so any later extraction, even by a different process
+	// after a server restart, can re-derive and compare the bytes.
+	ValueBytes int
+	// VerifyValues makes every OK extraction compare its payload against
+	// ValueFor(key, ValueBytes); mismatches are counted in
+	// Result.Mismatched. This is the byte-exact recovery check the
+	// durability smoke test runs after restarting the server.
+	VerifyValues bool
 	// Seed makes the arrival schedule and key stream reproducible.
 	Seed uint64
+}
+
+// ValueFor is the deterministic key→payload function valued runs use:
+// n bytes generated from the key alone, so payload integrity is
+// checkable without any shared state between the inserting and the
+// extracting process.
+func ValueFor(key uint64, n int) []byte {
+	b := make([]byte, n)
+	x := key
+	for i := range b {
+		x = xrand.Mix64(x + 0x9e3779b97f4a7c15)
+		b[i] = byte(x)
+	}
+	return b
 }
 
 // Result summarizes one run.
@@ -62,6 +87,12 @@ type Result struct {
 	Overloaded int `json:"overloaded"`
 	// Errors counts transport/protocol failures (any is a run failure).
 	Errors int `json:"errors"`
+	// Verified and Mismatched count byte-exact payload checks on OK
+	// extractions (VerifyValues runs only). Mismatched > 0 means the
+	// server returned bytes that differ from what ValueFor says was
+	// inserted for that key — a durability/aliasing bug.
+	Verified   int `json:"verified,omitempty"`
+	Mismatched int `json:"mismatched,omitempty"`
 	// Elapsed is the wall time from first scheduled arrival to last
 	// response.
 	Elapsed time.Duration `json:"elapsed_ns"`
@@ -128,6 +159,8 @@ func Run(cfg Config) (Result, error) {
 			res.Empty += r.Empty
 			res.Overloaded += r.Overloaded
 			res.Errors += r.Errors
+			res.Verified += r.Verified
+			res.Mismatched += r.Mismatched
 			if r.maxLat > maxLat {
 				maxLat = r.maxLat
 			}
@@ -151,6 +184,7 @@ func Run(cfg Config) (Result, error) {
 // clientResult is one connection's tallies.
 type clientResult struct {
 	Sent, OK, Empty, Overloaded, Errors int
+	Verified, Mismatched                int
 	maxLat                              time.Duration
 }
 
@@ -199,6 +233,13 @@ func runClient(cfg Config, ci, ops int, start time.Time, hist *metrics.Histogram
 			switch resp.Status {
 			case wire.StatusOK:
 				rr.OK++
+				if cfg.VerifyValues && resp.Op == wire.OpExtractMax {
+					if bytes.Equal(resp.Payload, ValueFor(resp.Value, cfg.ValueBytes)) {
+						rr.Verified++
+					} else {
+						rr.Mismatched++
+					}
+				}
 			case wire.StatusEmpty:
 				rr.Empty++
 			case wire.StatusOverloaded:
@@ -226,6 +267,9 @@ func runClient(cfg Config, ci, ops int, start time.Time, hist *metrics.Histogram
 		req := wire.Request{Op: wire.OpExtractMax, Tenant: tenant}
 		if int(rng.Uint64n(100)) < cfg.InsertPct {
 			req = wire.Request{Op: wire.OpInsert, Tenant: tenant, Key: rng.Uint64() >> 16}
+			if cfg.ValueBytes > 0 {
+				req.Payload = ValueFor(req.Key, cfg.ValueBytes)
+			}
 		}
 		p, err := c.Start(req)
 		if err != nil {
@@ -253,6 +297,8 @@ func runClient(cfg Config, ci, ops int, start time.Time, hist *metrics.Histogram
 	cr.Empty = rr.Empty
 	cr.Overloaded = rr.Overloaded
 	cr.Errors += rr.Errors
+	cr.Verified = rr.Verified
+	cr.Mismatched = rr.Mismatched
 	cr.maxLat = rr.maxLat
 	return cr
 }

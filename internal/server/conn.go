@@ -25,7 +25,25 @@ type connState struct {
 	id     uint32 // histogram shard
 	keys   []uint64
 	frame  []byte
-	dst    []core.Element[struct{}]
+	dst    []core.Element[[]byte]
+}
+
+// cloneValues detaches a request's payload views from the read buffer
+// before they are stored in a queue (where they outlive the frame).
+// Each member gets its own copy so an extracted element never pins its
+// batch siblings' bytes. nil in (a key-only request) is nil out; nil
+// members stay nil so key-only semantics survive mixed batches.
+func cloneValues(vals [][]byte) [][]byte {
+	if vals == nil {
+		return nil
+	}
+	out := make([][]byte, len(vals))
+	for i, v := range vals {
+		if v != nil {
+			out[i] = append([]byte{}, v...)
+		}
+	}
+	return out
 }
 
 // serveConn runs one connection to completion.
@@ -156,20 +174,22 @@ func (c *connState) execute(req wire.Request) {
 	case wire.OpInsert:
 		c.coalesceInsert(t, req)
 	case wire.OpInsertBatch:
-		t.q.InsertBatch(req.Keys, nil)
+		t.q.InsertBatch(req.Keys, cloneValues(req.Payloads))
 		s.batchSizes.Observe(c.id, uint64(len(req.Keys)))
 		s.inserts.Add(uint64(len(req.Keys)))
 		s.opsTotal.Add(1)
 		c.respond(wire.Response{Status: wire.StatusOK, ID: req.ID, Op: req.Op})
 	case wire.OpExtractMax:
-		key, _, ok := t.q.TryExtractMax()
+		key, val, ok := t.q.TryExtractMax()
 		s.opsTotal.Add(1)
 		if !ok {
 			c.respond(wire.Response{Status: c.emptyStatus(t), ID: req.ID, Op: req.Op})
 			return
 		}
 		s.extracts.Add(1)
-		c.respond(wire.Response{Status: wire.StatusOK, ID: req.ID, Op: req.Op, Value: key})
+		// val is the element's own copy (detached at insert), so handing
+		// it to the response queue is safe.
+		c.respond(wire.Response{Status: wire.StatusOK, ID: req.ID, Op: req.Op, Value: key, Payload: val})
 	case wire.OpExtractBatch:
 		c.dst = t.q.ExtractBatch(c.dst[:0], req.N)
 		s.opsTotal.Add(1)
@@ -177,13 +197,28 @@ func (c *connState) execute(req wire.Request) {
 			c.respond(wire.Response{Status: c.emptyStatus(t), ID: req.ID, Op: req.Op})
 			return
 		}
-		// The response outlives c.dst (it waits in the queue); detach it.
+		// The response outlives c.dst (it waits in the queue); detach the
+		// keys. The values are element-owned copies already. Only send the
+		// valued form when at least one member carries bytes, so key-only
+		// tenants keep the compact key-only frames.
 		keys := make([]uint64, len(c.dst))
+		var vals [][]byte
 		for i := range c.dst {
 			keys[i] = c.dst[i].Key
+			if c.dst[i].Val != nil && vals == nil {
+				vals = make([][]byte, len(c.dst))
+			}
+		}
+		if vals != nil {
+			for i := range c.dst {
+				vals[i] = c.dst[i].Val
+			}
 		}
 		s.extracts.Add(uint64(len(keys)))
-		c.respond(wire.Response{Status: wire.StatusOK, ID: req.ID, Op: req.Op, Keys: keys})
+		for i := range c.dst {
+			c.dst[i] = core.Element[[]byte]{} // drop the payload references
+		}
+		c.respond(wire.Response{Status: wire.StatusOK, ID: req.ID, Op: req.Op, Keys: keys, Payloads: vals})
 	case wire.OpLen:
 		s.opsTotal.Add(1)
 		c.respond(wire.Response{Status: wire.StatusOK, ID: req.ID, Op: req.Op, Value: uint64(t.q.Len())})
@@ -207,7 +242,9 @@ func (c *connState) emptyStatus(t *tenant) byte {
 // in the read buffer — it never blocks waiting for more — so coalescing
 // is free parallelism when the client pipelines and a plain insert when
 // it doesn't. The budget leaves one response slot spare per member (they
-// each get their own OK) and caps at MaxCoalesce.
+// each get their own OK) and caps at MaxCoalesce. Payloads ride along:
+// the head's bytes alias the frame buffer and peeked members' alias the
+// read buffer, so both are detached before the batch is stored.
 func (c *connState) coalesceInsert(t *tenant, req wire.Request) {
 	s := c.s
 	budget := s.cfg.MaxCoalesce
@@ -216,6 +253,13 @@ func (c *connState) coalesceInsert(t *tenant, req wire.Request) {
 	}
 	keys := c.keys[:0]
 	keys = append(keys, req.Key)
+	var vals [][]byte
+	anyVal := req.Payload != nil
+	if anyVal {
+		vals = append(vals, append([]byte{}, req.Payload...))
+	} else {
+		vals = append(vals, nil)
+	}
 	ids := make([]uint32, 1, 8)
 	ids[0] = req.ID
 	for len(keys) < budget {
@@ -224,9 +268,16 @@ func (c *connState) coalesceInsert(t *tenant, req wire.Request) {
 			break
 		}
 		keys = append(keys, next.Key)
+		vals = append(vals, next.Payload) // already detached by peekInsert
+		if next.Payload != nil {
+			anyVal = true
+		}
 		ids = append(ids, next.ID)
 	}
-	t.q.InsertBatch(keys, nil)
+	if !anyVal {
+		vals = nil // key-only batch: zero values, key-only WAL record
+	}
+	t.q.InsertBatch(keys, vals)
 	c.keys = keys[:0]
 	s.batchSizes.Observe(c.id, uint64(len(keys)))
 	s.inserts.Add(uint64(len(keys)))
@@ -272,6 +323,11 @@ func (c *connState) peekInsert(tenant string) (wire.Request, bool) {
 	req, perr := wire.ParseRequest(payload, nil)
 	if perr != nil || req.Tenant != tenant {
 		return wire.Request{}, false
+	}
+	if req.Payload != nil {
+		// The parsed payload aliases the peeked bytes, which Discard (and
+		// any later buffer refill) invalidates; detach it now.
+		req.Payload = append([]byte{}, req.Payload...)
 	}
 	if _, err := c.br.Discard(total); err != nil {
 		return wire.Request{}, false

@@ -81,10 +81,15 @@ const (
 	DefaultRetryAfter = 50 * time.Millisecond
 )
 
-// tenant is one named queue plus its durability bookkeeping.
+// tenant is one named queue plus its durability bookkeeping. Tenants
+// hold []byte values — opaque client payloads carried by the wire
+// protocol's valued frames and, for durable tenants, logged through
+// wal.BytesCodec so recovery restores them byte-exactly. Key-only
+// clients pay nothing: a nil payload inserts a nil value and logs a
+// key-only v1 record.
 type tenant struct {
 	name    string
-	q       *sharded.Queue[struct{}]
+	q       *sharded.Queue[[]byte]
 	durable bool
 }
 
@@ -152,7 +157,7 @@ func New(cfg Config) (*Server, []RecoveredTenant, error) {
 		conns:   make(map[net.Conn]struct{}),
 		done:    make(chan struct{}),
 	}
-	ad := core.NewAllocDomain[struct{}](cfg.Queue.Queue)
+	ad := core.NewAllocDomain[[]byte](cfg.Queue.Queue)
 	var recovered []RecoveredTenant
 	for _, name := range cfg.Tenants {
 		if len(name) == 0 || s.tenants[name] != nil {
@@ -160,7 +165,7 @@ func New(cfg Config) (*Server, []RecoveredTenant, error) {
 		}
 		t := &tenant{name: name}
 		if cfg.WALDir == "" {
-			t.q = sharded.NewWithDomain[struct{}](cfg.Queue, ad)
+			t.q = sharded.NewWithDomain[[]byte](cfg.Queue, ad)
 		} else {
 			t.durable = true
 			qcfg := cfg.Queue
@@ -172,12 +177,12 @@ func New(cfg Config) (*Server, []RecoveredTenant, error) {
 			var err error
 			if wal.Exists(dir) {
 				var st *wal.State
-				t.q, st, err = sharded.RecoverWithDomain[struct{}](qcfg, ad)
+				t.q, st, err = sharded.RecoverWithDomainCodec[[]byte](qcfg, ad, wal.BytesCodec{})
 				if err == nil {
 					recovered = append(recovered, RecoveredTenant{Tenant: name, Live: st.Live()})
 				}
 			} else {
-				t.q, err = sharded.NewDurableWithDomain[struct{}](qcfg, ad)
+				t.q, err = sharded.NewDurableWithDomainCodec[[]byte](qcfg, ad, wal.BytesCodec{})
 			}
 			if err != nil {
 				return nil, nil, fmt.Errorf("server: tenant %q: %w", name, err)

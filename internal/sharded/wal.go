@@ -47,7 +47,7 @@ func openSharedWAL(cfg Config) (w core.WALPolicy, owned bool, err error) {
 // opened first, the queue built bare, and the policy attached — the same
 // shape as core.NewDurable and Recover below.
 func NewDurable[V any](cfg Config) (*Queue[V], error) {
-	return NewDurableWithDomain[V](cfg, nil)
+	return NewDurableWithDomainCodec[V](cfg, nil, nil)
 }
 
 // NewDurableWithDomain is NewDurable over a shared allocation domain
@@ -55,6 +55,22 @@ func NewDurable[V any](cfg Config) (*Queue[V], error) {
 // server gets its own log while all of them share one memory-reclamation
 // substrate. A nil ad builds a private domain.
 func NewDurableWithDomain[V any](cfg Config, ad *core.AllocDomain[V]) (*Queue[V], error) {
+	return NewDurableWithDomainCodec[V](cfg, ad, nil)
+}
+
+// NewDurableCodec is NewDurable with a payload codec: every shard logs
+// its inserts' encoded values (wal record format v2) through the shared
+// log, so RecoverCodec restores them byte-exactly. A nil codec is
+// exactly NewDurable — key-only v1 records.
+func NewDurableCodec[V any](cfg Config, codec wal.Codec[V]) (*Queue[V], error) {
+	return NewDurableWithDomainCodec[V](cfg, nil, codec)
+}
+
+// NewDurableWithDomainCodec combines the shared allocation domain with
+// the payload codec — the shape the multi-tenant server uses: tenants
+// share one domain, each owns a log, and every tenant's values ride its
+// own log's records.
+func NewDurableWithDomainCodec[V any](cfg Config, ad *core.AllocDomain[V], codec wal.Codec[V]) (*Queue[V], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -68,12 +84,23 @@ func NewDurableWithDomain[V any](cfg Config, ad *core.AllocDomain[V]) (*Queue[V]
 	q := NewWithDomain[V](bare, ad)
 	if w != nil {
 		for i := range q.shards {
+			q.shards[i].q.AttachCodec(codec)
 			q.shards[i].q.AttachWAL(w, false)
 		}
 		q.wal, q.walOwned = w, owned
 		q.degradeForWAL()
 	}
 	return q, nil
+}
+
+// AttachCodec attaches the payload codec to every shard, for callers
+// that build the queue with an external Config.Queue.WAL policy (the
+// crash harness) rather than through NewDurableCodec. Like the core
+// method it must be called before the queue is shared.
+func (q *Queue[V]) AttachCodec(c wal.Codec[V]) {
+	for i := range q.shards {
+		q.shards[i].q.AttachCodec(c)
+	}
 }
 
 // degradeForWAL disables extract buffering while a WAL is attached: a
@@ -133,7 +160,7 @@ func (q *Queue[V]) WALStats() (wal.Stats, bool) {
 // reopened log attached as the shared shard policy. See core.Recover for
 // the single-queue version and the ordering argument.
 func Recover[V any](cfg Config) (*Queue[V], *wal.State, error) {
-	return RecoverWithDomain[V](cfg, nil)
+	return RecoverWithDomainCodec[V](cfg, nil, nil)
 }
 
 // RecoverWithDomain is Recover over a shared allocation domain (see
@@ -142,6 +169,21 @@ func Recover[V any](cfg Config) (*Queue[V], *wal.State, error) {
 // already holds — into a queue whose shards allocate from ad. A nil ad
 // builds a private domain.
 func RecoverWithDomain[V any](cfg Config, ad *core.AllocDomain[V]) (*Queue[V], *wal.State, error) {
+	return RecoverWithDomainCodec[V](cfg, ad, nil)
+}
+
+// RecoverCodec is Recover with a payload codec: each recovered
+// instance's logged bytes are decoded and re-inserted with its key, so
+// the rebuilt queue holds the durably acknowledged (key, value) pairs.
+// Without a codec a valued directory is rejected rather than silently
+// stripped — see core.DecodeRecovered.
+func RecoverCodec[V any](cfg Config, codec wal.Codec[V]) (*Queue[V], *wal.State, error) {
+	return RecoverWithDomainCodec[V](cfg, nil, codec)
+}
+
+// RecoverWithDomainCodec combines the shared allocation domain with the
+// payload codec, for multi-tenant recovery.
+func RecoverWithDomainCodec[V any](cfg Config, ad *core.AllocDomain[V], codec wal.Codec[V]) (*Queue[V], *wal.State, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -153,18 +195,23 @@ func RecoverWithDomain[V any](cfg Config, ad *core.AllocDomain[V]) (*Queue[V], *
 	if err != nil {
 		return nil, nil, err
 	}
+	vals, err := core.DecodeRecovered[V](st, codec)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	bare := cfg
 	bare.Queue.Durability = nil
 	bare.Queue.WAL = nil
 	q := NewWithDomain[V](bare, ad)
-	q.InsertBatch(st.Keys, nil)
+	q.InsertBatch(st.Keys, vals)
 
 	l, owned, err := openSharedWAL(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	for i := range q.shards {
+		q.shards[i].q.AttachCodec(codec)
 		q.shards[i].q.AttachWAL(l, false)
 	}
 	q.wal, q.walOwned = l, owned

@@ -1,0 +1,44 @@
+package wal
+
+// Codec serializes a queue's payload values into insert records and back
+// out during recovery. It is the seam between the generic queue
+// (core.Queue[V]) and the byte-oriented log: the queue's hot path encodes
+// each value into scratch with Append and hands the log plain bytes, so
+// the Log itself stays non-generic and the record format is independent
+// of V.
+//
+// A nil Codec — "codecNone" — means values are not logged at all: the
+// log writes the original v1 key-only records, bit-identical to the
+// pre-codec format, and recovery restores zero values. That is the right
+// choice for V=struct{} and for any workload that can rebuild values
+// from keys; it also keeps the durability-on insert path free of the
+// encode step entirely.
+//
+// Implementations must be safe for concurrent use (the queue encodes
+// from many goroutines; stateless codecs are trivially safe) and must
+// round-trip: Decode(Append(nil, v)) == v. Encoded values are bounded by
+// MaxValueLen per element.
+type Codec[V any] interface {
+	// Append serializes v onto dst and returns the extended slice, like
+	// the encoding/binary Append* functions. It must not retain dst.
+	Append(dst []byte, v V) []byte
+	// Decode deserializes one value from b. b aliases recovery scratch:
+	// implementations that keep byte slices (like BytesCodec) must copy.
+	Decode(b []byte) (V, error)
+}
+
+// BytesCodec is the identity Codec for []byte payloads: Append copies
+// the value into the record, Decode copies it back out. This is what the
+// network server uses — tenant values are opaque bytes end to end.
+type BytesCodec struct{}
+
+// Append implements Codec[[]byte].
+func (BytesCodec) Append(dst []byte, v []byte) []byte { return append(dst, v...) }
+
+// Decode implements Codec[[]byte]. The copy is required: b aliases the
+// recovered log image, which recovery discards.
+func (BytesCodec) Decode(b []byte) ([]byte, error) {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
+}

@@ -11,19 +11,24 @@ import (
 // properties under test:
 //
 //  1. Never panic, whatever the input.
-//  2. Encode → decode round-trips: a stream of appendRecord frames
-//     decodes back to the same (kind, lsn, keys) sequence, ending in a
-//     clean io.EOF.
+//  2. Encode → decode round-trips: a stream of appendRecord /
+//     appendValueRecord frames (all six kinds, v1 and v2) decodes back
+//     to the same (kind, lsn, keys, vals) sequence, ending in a clean
+//     io.EOF.
 //  3. Torn-tail prefixes decode to a clean truncation: every proper
 //     byte prefix of a valid stream yields the records whose frames fit,
 //     then ErrTornTail (or io.EOF exactly on a frame boundary) — never
-//     ErrCorrupt, never a record that was not written.
+//     ErrCorrupt, never a record that was not written. A cut landing
+//     inside a v2 record's payload bytes tears the same way: the frame
+//     CRC covers the value, so a half-written payload can only truncate.
 func FuzzWALDecode(f *testing.F) {
 	var seed []byte
 	seed = appendRecord(seed, recInsert, 1, 42, nil)
 	seed = appendRecord(seed, recInsertBatch, 2, 0, []uint64{7, 7, 9})
 	seed = appendRecord(seed, recExtract, 3, 7, nil)
 	seed = appendRecord(seed, recExtractBatch, 4, 0, []uint64{9})
+	seed = appendValueRecord(seed, recInsertV, 5, []uint64{42}, [][]byte{[]byte("hello")})
+	seed = appendValueRecord(seed, recInsertBatchV, 6, []uint64{1, 2}, [][]byte{{}, []byte("xyz")})
 	f.Add(seed, uint16(len(seed)))
 	f.Add([]byte{}, uint16(0))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1}, uint16(3))
@@ -54,26 +59,39 @@ func FuzzWALDecode(f *testing.F) {
 			kind byte
 			lsn  uint64
 			keys []uint64
+			vals [][]byte
 		}
 		var want []rec
 		lsn := uint64(0)
 		for i := 0; i+1 < len(raw) && len(want) < 16; i += 2 {
 			lsn += uint64(raw[i]%5) + 1
-			kind := byte(raw[i]%4) + 1
+			kind := byte(raw[i]%6) + 1
 			var keys []uint64
 			n := int(raw[i+1]%5) + 1
-			if kind != recInsertBatch && kind != recExtractBatch {
+			if kind == recInsert || kind == recExtract || kind == recInsertV {
 				n = 1
 			}
 			for j := 0; j < n; j++ {
 				keys = append(keys, uint64(raw[i+1])<<8|uint64(j))
 			}
-			if kind == recInsertBatch || kind == recExtractBatch {
+			switch kind {
+			case recInsertBatch, recExtractBatch:
 				enc = appendRecord(enc, kind, lsn, 0, keys)
-			} else {
+				want = append(want, rec{kind, lsn, keys, nil})
+			case recInsertV, recInsertBatchV:
+				vals := make([][]byte, len(keys))
+				for j := range vals {
+					vals[j] = make([]byte, int(raw[i+1]>>4)%8)
+					for x := range vals[j] {
+						vals[j][x] = raw[i+1] + byte(j) + byte(x)
+					}
+				}
+				enc = appendValueRecord(enc, kind, lsn, keys, vals)
+				want = append(want, rec{kind, lsn, keys, vals})
+			default:
 				enc = appendRecord(enc, kind, lsn, keys[0], nil)
+				want = append(want, rec{kind, lsn, keys, nil})
 			}
-			want = append(want, rec{kind, lsn, keys})
 		}
 
 		// Property 2: full round-trip.
@@ -90,6 +108,20 @@ func FuzzWALDecode(f *testing.F) {
 			for j := range w.keys {
 				if got.Keys[j] != w.keys[j] {
 					t.Fatalf("record %d key %d: got %d want %d", i, j, got.Keys[j], w.keys[j])
+				}
+			}
+			if w.vals == nil {
+				if got.Vals != nil {
+					t.Fatalf("record %d: v1 record decoded with Vals %v", i, got.Vals)
+				}
+				continue
+			}
+			if len(got.Vals) != len(w.vals) {
+				t.Fatalf("record %d: decoded %d vals, want %d", i, len(got.Vals), len(w.vals))
+			}
+			for j := range w.vals {
+				if got.Vals[j] == nil || !bytes.Equal(got.Vals[j], w.vals[j]) {
+					t.Fatalf("record %d val %d: got %v want %v", i, j, got.Vals[j], w.vals[j])
 				}
 			}
 		}

@@ -1,17 +1,22 @@
 // Package wal is the durability layer behind core.Config.Durability: a
 // write-ahead log of queue operations with group-committed fsync, an
-// online snapshot that compacts the log without quiescing the queue, and
-// crash recovery that rebuilds the live key multiset from snapshot +
-// tail replay.
+// online snapshot chain (incremental deltas with periodic full rebases)
+// that compacts the log without quiescing the queue, and crash recovery
+// that rebuilds the live multiset from snapshot chain + tail replay.
 //
 // # What is logged
 //
-// The queue's durable state is the live multiset of KEYS: an element is
-// durably "in the queue" when its insert record is on disk and no extract
-// record for it is. Payload values are not logged — recovery restores
-// zero values — because the core queue is generic and the repository's
-// workloads key everything by priority; the record format reserves a kind
-// byte so payload-carrying records can be added without a format break.
+// The queue's durable state is the live multiset of elements: an element
+// is durably "in the queue" when its insert record is on disk and no
+// extract record for it is. Insert records optionally carry the
+// element's payload value, serialized through a Codec (format v2, kinds
+// recInsertV/recInsertBatchV); with a nil codec the log keeps the
+// original key-only bit layout (format v1) and recovery restores zero
+// values. Extract records are always key-only — the extractor already
+// holds the value, so logging it again would only amplify writes. Both
+// formats coexist in one log: a v1 log continued by a codec-carrying
+// queue simply gains v2 records after its v1 prefix, and recovery reads
+// either transparently.
 //
 // # Record framing
 //
@@ -20,20 +25,31 @@
 //	length  uint32 LE   payload length in bytes
 //	crc     uint32 LE   CRC-32C (Castagnoli) of the payload
 //	payload:
-//	  kind  byte        recInsert | recExtract | recInsertBatch | recExtractBatch
+//	  kind  byte        one of the rec* kinds below
 //	  lsn   uint64 LE   monotonically increasing log sequence number
-//	  keys  ...         one uint64 LE (single ops) or
-//	                    count uint32 LE + count × uint64 LE (batch ops)
+//	  body  ...         kind-specific, see below
+//
+// v1 bodies (key-only):
+//
+//	recInsert | recExtract:           key uint64 LE
+//	recInsertBatch | recExtractBatch: count uint32 LE + count × uint64 LE
+//
+// v2 bodies (valued inserts; the kind byte is the version tag):
+//
+//	recInsertV:      key uint64 LE + vlen uint32 LE + vlen bytes
+//	recInsertBatchV: count uint32 LE + count × (key + vlen + bytes)
 //
 // A decoder walking a file stops at the first frame that does not parse —
 // short header, implausible length, short payload, or CRC mismatch — and
 // classifies it as a torn tail (ErrTornTail): with a single appended file
 // the on-disk image after a crash is a prefix of what was written, so the
-// first bad frame marks where the crash cut the stream. A frame whose CRC
-// is valid but whose contents are nonsense (unknown kind, non-monotonic
-// LSN, key count disagreeing with the length) is corruption, not a torn
-// tail, and decoding fails hard (ErrCorrupt) rather than silently
-// dropping records.
+// first bad frame marks where the crash cut the stream. A torn value
+// payload is caught the same way — the frame CRC covers the payload
+// bytes, so a half-written value can only ever truncate the log, never
+// corrupt it. A frame whose CRC is valid but whose contents are nonsense
+// (unknown kind, non-monotonic LSN, counts disagreeing with the length)
+// is corruption, not a torn tail, and decoding fails hard (ErrCorrupt)
+// rather than silently dropping records.
 package wal
 
 import (
@@ -45,12 +61,15 @@ import (
 )
 
 // Record kinds. The zero value is invalid so a zeroed frame can never
-// masquerade as a record.
+// masquerade as a record. Kinds 1-4 are format v1 (key-only); kinds 5-6
+// are format v2 (inserts carrying per-key payload bytes).
 const (
 	recInsert       = 1 // one inserted key
 	recExtract      = 2 // one extracted key
 	recInsertBatch  = 3 // n inserted keys
 	recExtractBatch = 4 // n extracted keys
+	recInsertV      = 5 // one inserted key + payload value
+	recInsertBatchV = 6 // n inserted keys + payload values
 )
 
 const (
@@ -61,13 +80,20 @@ const (
 
 	// maxPayload bounds a single record so a garbage length field cannot
 	// make the decoder reserve gigabytes: 1 MiB holds a batch of ~128k
-	// keys, far beyond any batch the queue issues.
+	// key-only entries, far beyond any batch the queue issues.
 	maxPayload = 1 << 20
 
 	// maxBatchKeys is the largest key count a batch record may carry,
 	// consistent with maxPayload.
 	maxBatchKeys = (maxPayload - 13) / 8
 )
+
+// MaxValueLen is the largest encoded payload value a single insert
+// record can carry: one valued member (key + vlen + bytes) plus the
+// record envelope must fit under maxPayload. Append paths latch an error
+// (surfaced by Sync, so the operation is never acked) for anything
+// larger rather than writing a frame recovery would reject.
+const MaxValueLen = maxPayload - 32
 
 // castagnoli is the CRC-32C table (the polynomial used by iSCSI and most
 // modern storage formats; hardware-accelerated on amd64/arm64).
@@ -98,18 +124,21 @@ var ErrTornTail = errors.New("wal: torn tail")
 
 func (e *TornTailError) Unwrap() error { return ErrTornTail }
 
-// Record is one decoded log record. Keys aliases the Decoder's internal
-// scratch and is only valid until the next call to Next.
+// Record is one decoded log record. Keys and Vals alias the Decoder's
+// scratch and the decoded image and are only valid until the next call
+// to Next. Vals is nil for v1 (key-only) records; for v2 records it is
+// aligned with Keys and every entry is non-nil (possibly empty).
 type Record struct {
 	LSN  uint64
 	Kind byte
 	Keys []uint64
+	Vals [][]byte
 }
 
-// appendRecord frames one record into buf and returns the extended
-// slice. It is the single encoder used by the Log's append paths; writing
-// straight into the Log's pending buffer keeps appends allocation-free
-// once the buffer has grown to its steady-state size.
+// appendRecord frames one v1 (key-only) record into buf and returns the
+// extended slice. It is the single v1 encoder used by the Log's append
+// paths; writing straight into the Log's pending buffer keeps appends
+// allocation-free once the buffer has grown to its steady-state size.
 func appendRecord(buf []byte, kind byte, lsn uint64, key uint64, keys []uint64) []byte {
 	payloadLen := minPayload
 	batch := kind == recInsertBatch || kind == recExtractBatch
@@ -134,6 +163,32 @@ func appendRecord(buf []byte, kind byte, lsn uint64, key uint64, keys []uint64) 
 	return buf
 }
 
+// appendValueRecord frames one v2 (valued insert) record into buf. keys
+// and vals are aligned; a nil val is written as an empty payload. The
+// caller is responsible for keeping the encoded record under maxPayload
+// (see the byte-budget chunking in appendValued).
+func appendValueRecord(buf []byte, kind byte, lsn uint64, keys []uint64, vals [][]byte) []byte {
+	start := len(buf)
+	buf = append(buf, make([]byte, headerSize)...)
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint64(buf, lsn)
+	if kind == recInsertBatchV {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+	}
+	for i, k := range keys {
+		buf = binary.LittleEndian.AppendUint64(buf, k)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(vals[i])))
+		buf = append(buf, vals[i]...)
+	}
+	payload := buf[start+headerSize:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// valuedMemberLen is the encoded size of one member of a v2 record body.
+func valuedMemberLen(val []byte) int { return 12 + len(val) }
+
 // Decoder walks a byte image of a WAL file. It never panics on arbitrary
 // input (fuzzed: FuzzWALDecode) and distinguishes three stream endings:
 // io.EOF (clean end on a frame boundary), ErrTornTail (trailing bytes
@@ -144,6 +199,7 @@ type Decoder struct {
 	off     int64
 	lastLSN uint64
 	keys    []uint64
+	vals    [][]byte
 }
 
 // NewDecoder returns a decoder over b.
@@ -156,6 +212,11 @@ func (d *Decoder) Offset() int64 { return d.off }
 func (d *Decoder) torn(reason string) (Record, error) {
 	return Record{}, &TornTailError{Offset: d.off, Reason: reason}
 }
+
+// emptyVal is the non-nil zero-length value decoded for a vlen=0 member,
+// so "has a payload, and it is empty" never collapses into the nil that
+// means "key-only instance".
+var emptyVal = []byte{}
 
 // Next decodes the next record. It returns io.EOF when the stream ends
 // exactly on a frame boundary.
@@ -203,6 +264,52 @@ func (d *Decoder) Next() (Record, error) {
 		for i := 0; i < int(n); i++ {
 			d.keys = append(d.keys, binary.LittleEndian.Uint64(body[4+8*i:]))
 		}
+	case recInsertV:
+		if len(body) < 12 {
+			return Record{}, fmt.Errorf("%w: valued record with %d body bytes", ErrCorrupt, len(body))
+		}
+		vlen := binary.LittleEndian.Uint32(body[8:])
+		if int(vlen) != len(body)-12 {
+			return Record{}, fmt.Errorf("%w: valued record vlen %d disagrees with %d body bytes", ErrCorrupt, vlen, len(body))
+		}
+		d.keys = append(d.keys[:0], binary.LittleEndian.Uint64(body))
+		v := body[12:]
+		if vlen == 0 {
+			v = emptyVal
+		}
+		d.vals = append(d.vals[:0], v)
+		rec.Vals = d.vals
+	case recInsertBatchV:
+		if len(body) < 4 {
+			return Record{}, fmt.Errorf("%w: valued batch record with %d body bytes", ErrCorrupt, len(body))
+		}
+		n := binary.LittleEndian.Uint32(body)
+		if n == 0 || n > maxBatchKeys {
+			return Record{}, fmt.Errorf("%w: valued batch record count %d implausible", ErrCorrupt, n)
+		}
+		d.keys, d.vals = d.keys[:0], d.vals[:0]
+		off := 4
+		for i := 0; i < int(n); i++ {
+			if len(body)-off < 12 {
+				return Record{}, fmt.Errorf("%w: valued batch member %d overruns %d body bytes", ErrCorrupt, i, len(body))
+			}
+			k := binary.LittleEndian.Uint64(body[off:])
+			vlen := int(binary.LittleEndian.Uint32(body[off+8:]))
+			if vlen > len(body)-off-12 {
+				return Record{}, fmt.Errorf("%w: valued batch member %d vlen %d overruns %d body bytes", ErrCorrupt, i, vlen, len(body))
+			}
+			v := body[off+12 : off+12+vlen]
+			if vlen == 0 {
+				v = emptyVal
+			}
+			d.keys = append(d.keys, k)
+			d.vals = append(d.vals, v)
+			off += 12 + vlen
+		}
+		if off != len(body) {
+			return Record{}, fmt.Errorf("%w: valued batch record has %d trailing body bytes", ErrCorrupt, len(body)-off)
+		}
+		rec.Vals = d.vals
 	default:
 		return Record{}, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, rec.Kind)
 	}

@@ -9,7 +9,7 @@ import (
 )
 
 // State is the durable queue state recovered from a durability
-// directory: the key multiset that was durably in the queue at the
+// directory: the element multiset that was durably in the queue at the
 // moment of the last crash or shutdown, plus enough bookkeeping for the
 // recovery harness to explain what the log contained.
 type State struct {
@@ -18,14 +18,24 @@ type State struct {
 	// determinism.
 	Keys []uint64
 
+	// Vals holds each instance's recovered payload bytes, aligned with
+	// Keys; a nil entry is a payload-less instance (logged key-only, so
+	// recovery restores a zero value). Instances of the same key appear
+	// in insertion order. Vals is nil when nothing in the directory
+	// carried a payload — the key-only fast path. Entries do not alias
+	// the on-disk files; decode them with the queue's Codec.
+	Vals [][]byte
+
 	// NextLSN is the LSN the reopened log will assign next.
 	NextLSN uint64
 
-	// SnapshotLSN is the watermark of the snapshot that seeded the
-	// replay (0 if no snapshot existed); SnapshotKeys is how many live
-	// keys it contributed before the tail replay.
+	// SnapshotLSN is the watermark of the snapshot chain that seeded the
+	// replay (0 if none existed); SnapshotKeys is how many live
+	// instances it contributed before the tail replay. Deltas is how
+	// many incremental delta files the chain contained.
 	SnapshotLSN  uint64
 	SnapshotKeys int
+	Deltas       int
 
 	// Records is the number of intact log records replayed.
 	Records uint64
@@ -43,12 +53,15 @@ type State struct {
 // Live returns the number of live elements.
 func (s *State) Live() int { return len(s.Keys) }
 
-// Recover reads the durability directory and rebuilds the durable key
-// multiset: snapshot first (if one completed), then every intact log
-// record above the snapshot watermark. It is read-only — it never
-// truncates or repairs anything — so it can be called repeatedly, before
-// Open, or on a copy of the directory. A missing or empty directory
-// recovers to an empty state.
+// Recover reads the durability directory and rebuilds the durable
+// element multiset: snapshot chain first (base plus deltas, if any
+// completed), then every intact log record above the chain watermark.
+// It is read-only — it never truncates or repairs anything — so it can
+// be called repeatedly, before Open, or on a copy of the directory. A
+// missing or empty directory recovers to an empty state. Both record
+// formats replay transparently: a v1 key-only log recovers exactly as it
+// always did (Vals stays nil), and v2 records restore each instance's
+// payload bytes.
 //
 // Torn tails (the normal crash signature) are reported, not failed:
 // everything before the tear replays, the tear itself is discarded.
@@ -56,17 +69,13 @@ func (s *State) Live() int { return len(s.Keys) }
 func Recover(dir string) (*State, error) {
 	st := &State{TornOffset: -1}
 
-	snapLSN, counts, err := loadSnapshot(filepath.Join(dir, snapName))
-	if errors.Is(err, os.ErrNotExist) {
-		counts = make(map[uint64]int64)
-	} else if err != nil {
+	ch, err := loadChain(dir)
+	if err != nil {
 		return nil, err
-	} else {
-		st.SnapshotLSN = snapLSN
-		for _, c := range counts {
-			st.SnapshotKeys += int(c)
-		}
 	}
+	st.SnapshotLSN = ch.lsn
+	st.SnapshotKeys = ch.ms.instances()
+	st.Deltas = ch.deltas
 
 	b, err := os.ReadFile(filepath.Join(dir, walName))
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
@@ -74,7 +83,7 @@ func Recover(dir string) (*State, error) {
 	}
 	st.WALBytes = int64(len(b))
 
-	lastLSN, records, torn, err := replay(counts, b, snapLSN)
+	lastLSN, records, torn, err := replayMultiset(ch.ms, b, ch.lsn)
 	if err != nil {
 		return nil, err
 	}
@@ -85,21 +94,36 @@ func Recover(dir string) (*State, error) {
 	}
 
 	next := lastLSN
-	if snapLSN > next {
-		next = snapLSN
+	if ch.lsn > next {
+		next = ch.lsn
 	}
 	st.NextLSN = next + 1
 
-	n := 0
-	for _, c := range counts {
-		n += int(c)
+	distinct := make([]uint64, 0, len(ch.ms))
+	for k := range ch.ms {
+		distinct = append(distinct, k)
 	}
+	sort.Slice(distinct, func(i, j int) bool { return distinct[i] < distinct[j] })
+	n := ch.ms.instances()
 	st.Keys = make([]uint64, 0, n)
-	for k, c := range counts {
-		for i := int64(0); i < c; i++ {
+	vals := make([][]byte, 0, n)
+	anyVal := false
+	for _, k := range distinct {
+		ks := ch.ms[k]
+		for i := int64(0); i < ks.count; i++ {
 			st.Keys = append(st.Keys, k)
+			var v []byte
+			if ks.vals != nil {
+				v = ks.vals[i]
+			}
+			if v != nil {
+				anyVal = true
+			}
+			vals = append(vals, v)
 		}
 	}
-	sort.Slice(st.Keys, func(i, j int) bool { return st.Keys[i] < st.Keys[j] })
+	if anyVal {
+		st.Vals = vals
+	}
 	return st, nil
 }

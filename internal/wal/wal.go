@@ -14,19 +14,27 @@ import (
 )
 
 // File names inside a durability directory. The log is a single appended
-// file; snapshots are written to a temp name and renamed into place, so a
-// crash mid-snapshot leaves a stale temp that Open and Recover ignore.
+// file; snapshot bases and deltas are written to a temp name and renamed
+// into place, so a crash mid-snapshot leaves a stale temp that Open and
+// Recover ignore. Deltas are numbered queue.snap.d000000, .d000001, ...
+// in chain order.
 const (
-	walName     = "queue.wal"
-	snapName    = "queue.snap"
-	snapTmpName = "queue.snap.tmp"
-	walTmpName  = "queue.wal.tmp"
+	walName      = "queue.wal"
+	snapName     = "queue.snap"
+	snapTmpName  = "queue.snap.tmp"
+	walTmpName   = "queue.wal.tmp"
+	deltaPrefix  = "queue.snap.d"
+	deltaTmpName = "queue.snap.dtmp"
 )
 
 // DefaultGroupCommit is the fsync interval serving tools default to: long
 // enough to coalesce hundreds of appends per sync under load, short
 // enough that an ack waits at most a few milliseconds.
 const DefaultGroupCommit = 2 * time.Millisecond
+
+// DefaultRebaseEvery is how many incremental delta snapshots accumulate
+// before a full rebase folds the chain back into one base file.
+const DefaultRebaseEvery = 8
 
 // ErrCrashed is returned once a simulated crash has been triggered (see
 // the fault.WALAppend/WALFsync/WALSnapshot points and ForceCrash): the
@@ -46,6 +54,12 @@ type Options struct {
 	// log) whenever the log file grows past this size. 0 disables
 	// automatic snapshots; Snapshot can still be called manually.
 	SnapshotBytes int64
+	// RebaseEvery bounds the incremental snapshot chain: after this many
+	// delta snapshots the next snapshot is a full rebase that merges the
+	// chain into one base file and deletes the deltas. 0 means
+	// DefaultRebaseEvery. Recovery cost and directory file count grow
+	// with the chain length; write amplification shrinks with it.
+	RebaseEvery int
 	// Seed seeds the crash-point randomization used by the fault hooks.
 	Seed uint64
 	// Faults, when non-nil, arms the WAL crash points (fault.WALAppend,
@@ -65,8 +79,15 @@ type Stats struct {
 	Syncs uint64
 	// Snapshots and Trims count completed snapshot/compaction cycles.
 	Snapshots, Trims uint64
+	// DeltaSnapshots and Rebases split Snapshots into incremental deltas
+	// and full chain rebases.
+	DeltaSnapshots, Rebases uint64
 	// AppendedBytes is the total record bytes appended this session.
 	AppendedBytes int64
+	// SnapshotBytesWritten is the total snapshot bytes written this
+	// session (delta + base files) — the write-amplification numerator
+	// the recovery gate compares against a full-rewrite policy.
+	SnapshotBytesWritten int64
 	// DurableLSN is the highest LSN covered by a completed fsync;
 	// LastLSN is the highest LSN assigned.
 	DurableLSN, LastLSN uint64
@@ -109,11 +130,22 @@ type Log struct {
 	crashCut int64 // guarded by mu, written once under the crashed CAS
 	crashC   chan struct{}
 
-	snapMu  sync.Mutex
-	snapErr error // guarded by snapMu
+	snapMu     sync.Mutex
+	snapErr    error  // guarded by snapMu
+	chainLSN   uint64 // watermark of the newest chain element (snapMu)
+	deltaCount int    // deltas since the last full base (snapMu)
+	deltaSeq   int    // next delta file sequence number (snapMu)
+
+	// k1/v1 are single-element scratch for AppendInsertValue, so the
+	// valued single-insert path shares the batch encoder without
+	// allocating. Guarded by mu; v1s[0] is cleared after use so the log
+	// never retains a caller's value buffer.
+	k1s [1]uint64
+	v1s [1][]byte
 
 	records, ops, syncs, snaps, trims atomic.Uint64
-	bytes                             atomic.Int64
+	deltaSnaps, rebases               atomic.Uint64
+	bytes, snapBytes                  atomic.Int64
 }
 
 // Open opens (creating if necessary) the write-ahead log in opts.Dir and
@@ -137,12 +169,17 @@ func Open(opts Options) (*Log, error) {
 	// drop. (A wal temp is handled by scanExisting below: the rename in
 	// trimTo is atomic, so queue.wal is always whole.)
 	_ = os.Remove(filepath.Join(opts.Dir, snapTmpName))
+	_ = os.Remove(filepath.Join(opts.Dir, deltaTmpName))
 	_ = os.Remove(filepath.Join(opts.Dir, walTmpName))
 
-	snapLSN, _, err := readSnapshotHeader(filepath.Join(opts.Dir, snapName))
-	if err != nil && !errors.Is(err, os.ErrNotExist) {
+	// Loading the whole snapshot chain validates every base/delta file
+	// and yields the watermark new LSNs must stay above, plus where the
+	// delta numbering left off.
+	ch, err := loadChain(opts.Dir)
+	if err != nil {
 		return nil, err
 	}
+	snapLSN := ch.lsn
 	end, lastLSN, err := scanExisting(filepath.Join(opts.Dir, walName))
 	if err != nil {
 		return nil, err
@@ -167,16 +204,22 @@ func Open(opts Options) (*Log, error) {
 	}
 	next++
 
+	if opts.RebaseEvery <= 0 {
+		opts.RebaseEvery = DefaultRebaseEvery
+	}
 	l := &Log{
-		dir:     opts.Dir,
-		opts:    opts,
-		faults:  opts.Faults,
-		f:       f,
-		nextLSN: next,
-		written: end,
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
-		crashC:  make(chan struct{}),
+		dir:        opts.Dir,
+		opts:       opts,
+		faults:     opts.Faults,
+		f:          f,
+		nextLSN:    next,
+		written:    end,
+		chainLSN:   ch.lsn,
+		deltaCount: ch.deltas,
+		deltaSeq:   ch.nextSeq,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		crashC:     make(chan struct{}),
 	}
 	l.rng.Seed(xrand.Mix64(opts.Seed ^ 0xd0_0d_5eed))
 	// Everything already in the file survived a previous session (or its
@@ -274,8 +317,95 @@ func (l *Log) AppendInsert(key uint64) { l.append(recInsert, key, nil) }
 // Same ordering rule as AppendInsert.
 func (l *Log) AppendInsertBatch(keys []uint64) { l.append(recInsertBatch, 0, keys) }
 
+// AppendInsertValue logs one inserted key together with its encoded
+// payload value as a v2 record. Same ordering rule as AppendInsert. The
+// value bytes are copied into the pending buffer before return; the
+// caller's slice is not retained. A value over MaxValueLen latches an
+// error (surfaced by Sync) instead of writing an invalid frame.
+func (l *Log) AppendInsertValue(key uint64, val []byte) {
+	l.mu.Lock()
+	if l.err != nil || l.crashed.Load() {
+		l.mu.Unlock()
+		return
+	}
+	if len(val) > MaxValueLen {
+		l.err = fmt.Errorf("wal: value for key %d is %d bytes, over MaxValueLen %d", key, len(val), MaxValueLen)
+		l.mu.Unlock()
+		return
+	}
+	start := len(l.buf)
+	l.k1s[0], l.v1s[0] = key, val
+	l.buf = appendValueRecord(l.buf, recInsertV, l.nextLSN, l.k1s[:], l.v1s[:])
+	l.v1s[0] = nil
+	l.nextLSN++
+	recLen := int64(len(l.buf) - start)
+	if l.faults != nil && l.faults.Fire(fault.WALAppend) {
+		recStart := l.written + int64(start)
+		l.crashLocked(recStart + int64(l.rng.Uint64n(uint64(recLen))))
+	}
+	l.mu.Unlock()
+	l.records.Add(1)
+	l.ops.Add(1)
+	l.bytes.Add(recLen)
+}
+
+// AppendInsertBatchValues logs a batch of inserted keys with their
+// encoded payload values, chunked into as many v2 records as the
+// per-record byte budget requires (each chunk holds at least one
+// member). keys and vals must be aligned; a nil value is logged as an
+// empty payload. Same ordering rule as AppendInsert.
+func (l *Log) AppendInsertBatchValues(keys []uint64, vals [][]byte) {
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	l.mu.Lock()
+	if l.err != nil || l.crashed.Load() {
+		l.mu.Unlock()
+		return
+	}
+	for i := range vals {
+		if len(vals[i]) > MaxValueLen {
+			l.err = fmt.Errorf("wal: value for key %d is %d bytes, over MaxValueLen %d", keys[i], len(vals[i]), MaxValueLen)
+			l.mu.Unlock()
+			return
+		}
+	}
+	start := len(l.buf)
+	recs := uint64(0)
+	for len(keys) > 0 {
+		// Greedy byte-budget chunk: pack members while the encoded record
+		// stays under maxPayload. A single member always fits (values are
+		// bounded by MaxValueLen above).
+		size := 13 // kind(1) + lsn(8) + count(4)
+		c := 0
+		for c < len(keys) {
+			m := valuedMemberLen(vals[c])
+			if c > 0 && size+m > maxPayload {
+				break
+			}
+			size += m
+			c++
+		}
+		l.buf = appendValueRecord(l.buf, recInsertBatchV, l.nextLSN, keys[:c], vals[:c])
+		l.nextLSN++
+		keys, vals = keys[c:], vals[c:]
+		recs++
+	}
+	recLen := int64(len(l.buf) - start)
+	if l.faults != nil && l.faults.Fire(fault.WALAppend) {
+		recStart := l.written + int64(start)
+		l.crashLocked(recStart + int64(l.rng.Uint64n(uint64(recLen))))
+	}
+	l.mu.Unlock()
+	l.records.Add(recs)
+	l.ops.Add(uint64(n))
+	l.bytes.Add(recLen)
+}
+
 // AppendExtract logs one extracted key. Call it AFTER the element has
-// been physically removed.
+// been physically removed. Extract records are always key-only — the
+// extractor already holds the value.
 func (l *Log) AppendExtract(key uint64) { l.append(recExtract, key, nil) }
 
 // AppendExtractBatch logs a batch of extracted keys as one record.
@@ -433,14 +563,17 @@ func (l *Log) closeFile() error {
 // Stats returns a point-in-time activity summary.
 func (l *Log) Stats() Stats {
 	return Stats{
-		Records:       l.records.Load(),
-		Ops:           l.ops.Load(),
-		Syncs:         l.syncs.Load(),
-		Snapshots:     l.snaps.Load(),
-		Trims:         l.trims.Load(),
-		AppendedBytes: l.bytes.Load(),
-		DurableLSN:    l.durableLSN.Load(),
-		LastLSN:       l.lastLSN(),
+		Records:              l.records.Load(),
+		Ops:                  l.ops.Load(),
+		Syncs:                l.syncs.Load(),
+		Snapshots:            l.snaps.Load(),
+		Trims:                l.trims.Load(),
+		DeltaSnapshots:       l.deltaSnaps.Load(),
+		Rebases:              l.rebases.Load(),
+		AppendedBytes:        l.bytes.Load(),
+		SnapshotBytesWritten: l.snapBytes.Load(),
+		DurableLSN:           l.durableLSN.Load(),
+		LastLSN:              l.lastLSN(),
 	}
 }
 

@@ -187,6 +187,14 @@ func (c *Client) readLoop() {
 		if len(resp.Blob) > 0 {
 			resp.Blob = append([]byte(nil), resp.Blob...)
 		}
+		if resp.Payload != nil {
+			resp.Payload = append([]byte{}, resp.Payload...)
+		}
+		if resp.Payloads != nil {
+			for i, v := range resp.Payloads {
+				resp.Payloads[i] = append([]byte{}, v...)
+			}
+		}
 		c.mu.Lock()
 		ch, ok := c.pending[resp.ID]
 		delete(c.pending, resp.ID)

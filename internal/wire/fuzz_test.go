@@ -22,6 +22,9 @@ func FuzzFrameDecode(f *testing.F) {
 	seed, _ = AppendRequest(seed, Request{Op: OpInsertBatch, ID: 2, Tenant: "b", Keys: []uint64{7, 7, 9}})
 	seed, _ = AppendRequest(seed, Request{Op: OpExtractBatch, ID: 3, Tenant: "a", N: 4})
 	seed = AppendResponse(seed, Response{Status: StatusOK, ID: 3, Op: OpExtractBatch, Keys: []uint64{9}})
+	seed, _ = AppendRequest(seed, Request{Op: OpInsert, ID: 4, Tenant: "a", Key: 5, Payload: []byte("val")})
+	seed, _ = AppendRequest(seed, Request{Op: OpInsertBatch, ID: 5, Tenant: "b", Keys: []uint64{1, 2}, Payloads: [][]byte{nil, []byte("x")}})
+	seed = AppendResponse(seed, Response{Status: StatusOK, ID: 4, Op: OpExtractMax, Value: 5, Payload: []byte("val")})
 	f.Add(seed, uint16(len(seed)))
 	f.Add([]byte{}, uint16(0))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1}, uint16(3))
@@ -54,7 +57,7 @@ func FuzzFrameDecode(f *testing.F) {
 		var want []Request
 		for i := 0; i+1 < len(raw) && len(want) < 16; i += 2 {
 			r := Request{ID: uint32(i), Tenant: string('a' + raw[i]%3)}
-			switch raw[i] % 4 {
+			switch raw[i] % 6 {
 			case 0:
 				r.Op, r.Key = OpInsert, uint64(raw[i+1])
 			case 1:
@@ -65,6 +68,22 @@ func FuzzFrameDecode(f *testing.F) {
 				}
 			case 2:
 				r.Op, r.N = OpExtractBatch, int(raw[i+1]%9)+1
+			case 3:
+				// Valued insert: payload bytes derived from the input.
+				r.Op, r.Key = OpInsert, uint64(raw[i+1])
+				r.Payload = bytes.Repeat([]byte{raw[i+1]}, int(raw[i+1]>>4)%8)
+			case 4:
+				// Valued batch, mixing nil and non-nil members.
+				r.Op = OpInsertBatch
+				n := int(raw[i+1]%5) + 1
+				for k := 0; k < n; k++ {
+					r.Keys = append(r.Keys, uint64(k)*3+uint64(raw[i]))
+					if k%2 == 0 {
+						r.Payloads = append(r.Payloads, bytes.Repeat([]byte{raw[i+1] + byte(k)}, k%4))
+					} else {
+						r.Payloads = append(r.Payloads, nil)
+					}
+				}
 			default:
 				r.Op = OpExtractMax
 			}
@@ -90,6 +109,17 @@ func FuzzFrameDecode(f *testing.F) {
 			if got.Op != w.Op || got.ID != w.ID || got.Tenant != w.Tenant ||
 				got.Key != w.Key || got.N != w.N || len(got.Keys) != len(w.Keys) {
 				t.Fatalf("frame %d: got %+v want %+v", i, got, w)
+			}
+			if !bytes.Equal(got.Payload, w.Payload) {
+				t.Fatalf("frame %d payload: got %v want %v", i, got.Payload, w.Payload)
+			}
+			if len(got.Payloads) != len(w.Payloads) {
+				t.Fatalf("frame %d: %d payloads, want %d", i, len(got.Payloads), len(w.Payloads))
+			}
+			for j := range w.Payloads {
+				if !bytes.Equal(got.Payloads[j], w.Payloads[j]) {
+					t.Fatalf("frame %d payload %d: got %v want %v", i, j, got.Payloads[j], w.Payloads[j])
+				}
 			}
 		}
 		if _, err := d.Next(); err != io.EOF {

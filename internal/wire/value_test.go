@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestValuedRequestRoundTrip frames and re-parses the valued request
+// forms, including mixed batches (nil members stay distinguishable only
+// as empty — the member length field is always present in the valued
+// form) and the key-only/valued length discrimination.
+func TestValuedRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{Op: OpInsert, ID: 1, Tenant: "a", Key: 42, Payload: []byte("hello")},
+		{Op: OpInsert, ID: 2, Tenant: "a", Key: 43, Payload: []byte{}},
+		{Op: OpInsert, ID: 3, Tenant: "a", Key: 44}, // key-only, 8-byte body
+		{Op: OpInsertBatch, ID: 4, Tenant: "b", Keys: []uint64{7, 8, 9},
+			Payloads: [][]byte{[]byte("x"), nil, bytes.Repeat([]byte("y"), 300)}},
+		{Op: OpInsertBatch, ID: 5, Tenant: "b", Keys: []uint64{1, 2}}, // key-only batch
+	}
+	var stream []byte
+	for _, r := range cases {
+		var err error
+		stream, err = AppendRequest(stream, r)
+		if err != nil {
+			t.Fatalf("AppendRequest(%+v): %v", r, err)
+		}
+	}
+	d := NewDecoder(stream)
+	for i, want := range cases {
+		payload, err := d.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, err := ParseRequest(payload, nil)
+		if err != nil {
+			t.Fatalf("frame %d: ParseRequest: %v", i, err)
+		}
+		if got.Op != want.Op || got.ID != want.ID || got.Key != want.Key {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+		if (got.Payload == nil) != (want.Payload == nil) || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d payload: got %v want %v", i, got.Payload, want.Payload)
+		}
+		if (got.Payloads == nil) != (want.Payloads == nil) {
+			t.Fatalf("frame %d payloads form: got %v want %v", i, got.Payloads, want.Payloads)
+		}
+		for j := range want.Payloads {
+			if !bytes.Equal(got.Payloads[j], want.Payloads[j]) {
+				t.Fatalf("frame %d payload %d: got %v want %v", i, j, got.Payloads[j], want.Payloads[j])
+			}
+		}
+		for j := range want.Keys {
+			if got.Keys[j] != want.Keys[j] {
+				t.Fatalf("frame %d key %d: got %d want %d", i, j, got.Keys[j], want.Keys[j])
+			}
+		}
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+}
+
+// TestValuedResponseRoundTrip frames and re-parses valued extract
+// responses.
+func TestValuedResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{Status: StatusOK, ID: 1, Op: OpExtractMax, Value: 99, Payload: []byte("v99")},
+		{Status: StatusOK, ID: 2, Op: OpExtractMax, Value: 98}, // key-only
+		{Status: StatusOK, ID: 3, Op: OpExtractBatch, Keys: []uint64{5, 4},
+			Payloads: [][]byte{[]byte("five"), nil}},
+		{Status: StatusOK, ID: 4, Op: OpExtractBatch, Keys: []uint64{3}}, // key-only
+	}
+	var stream []byte
+	for _, r := range cases {
+		stream = AppendResponse(stream, r)
+	}
+	d := NewDecoder(stream)
+	for i, want := range cases {
+		payload, err := d.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, err := ParseResponse(payload, nil)
+		if err != nil {
+			t.Fatalf("frame %d: ParseResponse: %v", i, err)
+		}
+		if got.Value != want.Value || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+		if (got.Payloads == nil) != (want.Payloads == nil) {
+			t.Fatalf("frame %d payloads form mismatch", i)
+		}
+		for j := range want.Payloads {
+			if !bytes.Equal(got.Payloads[j], want.Payloads[j]) {
+				t.Fatalf("frame %d payload %d: got %v want %v", i, j, got.Payloads[j], want.Payloads[j])
+			}
+		}
+	}
+}
+
+// TestOversizedPayloadRejected pins the MaxValueLen bound at the append
+// side: the frame is never emitted.
+func TestOversizedPayloadRejected(t *testing.T) {
+	big := make([]byte, MaxValueLen+1)
+	if _, err := AppendRequest(nil, Request{Op: OpInsert, Tenant: "a", Key: 1, Payload: big}); err == nil {
+		t.Fatal("oversized insert payload accepted")
+	}
+	if _, err := AppendRequest(nil, Request{Op: OpInsertBatch, Tenant: "a", Keys: []uint64{1}, Payloads: [][]byte{big}}); err == nil {
+		t.Fatal("oversized batch payload accepted")
+	}
+	if _, err := AppendRequest(nil, Request{Op: OpInsertBatch, Tenant: "a", Keys: []uint64{1, 2}, Payloads: [][]byte{nil}}); err == nil {
+		t.Fatal("misaligned payloads accepted")
+	}
+}

@@ -49,10 +49,21 @@ import (
 
 // Request ops. The zero value is invalid so a zeroed frame can never
 // masquerade as a request.
+//
+// Insert ops and extract responses optionally carry value payloads —
+// opaque bytes stored with the key and returned on extraction. The
+// framing distinguishes key-only from valued bodies by exact length (a
+// valued member costs 4 extra length bytes, so the two grammars never
+// collide); a key-only frame is byte-identical to the pre-payload
+// protocol, keeping old clients and servers interoperable for key-only
+// traffic.
 const (
-	// OpInsert inserts one key; body = key uint64 LE.
+	// OpInsert inserts one key; body = key uint64 LE, optionally followed
+	// by a value payload: vlen uint32 LE + vlen bytes.
 	OpInsert byte = 1
-	// OpInsertBatch inserts a batch; body = count uint32 LE + count keys.
+	// OpInsertBatch inserts a batch; body = count uint32 LE + count keys,
+	// or the valued form: count uint32 LE + count × (key uint64 LE +
+	// vlen uint32 LE + vlen bytes).
 	OpInsertBatch byte = 2
 	// OpExtractMax extracts one high-priority key; empty body.
 	OpExtractMax byte = 3
@@ -104,6 +115,12 @@ const (
 	// MaxBatchKeys is the largest key count an insert/extract batch may
 	// carry, consistent with MaxPayload (preamble + max tenant + count).
 	MaxBatchKeys = (MaxPayload - reqFixed - MaxTenantLen - 4) / 8
+
+	// MaxValueLen bounds one element's value payload. It leaves headroom
+	// under MaxPayload for the largest preamble plus the key and length
+	// fields, and stays below the WAL's own per-record value bound so any
+	// value the wire accepts is loggable verbatim.
+	MaxValueLen = MaxPayload - 128
 )
 
 // castagnoli is the CRC-32C table (shared polynomial with internal/wal;
@@ -133,6 +150,14 @@ type Request struct {
 	// Keys are the OpInsertBatch keys. Decoded Keys alias the decode
 	// scratch and are only valid until the next decode on that parser.
 	Keys []uint64
+	// Payload is the OpInsert value payload; nil sends/received a
+	// key-only frame. Decoded Payload aliases the frame buffer — copy it
+	// before the next read if it must outlive the frame.
+	Payload []byte
+	// Payloads are the OpInsertBatch value payloads, aligned with Keys;
+	// nil sends/received the key-only batch form. Decoded Payloads alias
+	// the frame buffer.
+	Payloads [][]byte
 	// N is the OpExtractBatch key budget.
 	N int
 }
@@ -150,6 +175,12 @@ type Response struct {
 	// Keys carries the OpExtractBatch results (may be empty only via
 	// StatusEmpty). Decoded Keys alias the parser's scratch.
 	Keys []uint64
+	// Payload is the OpExtractMax value payload (nil on key-only
+	// extractions). Decoded Payload aliases the frame buffer.
+	Payload []byte
+	// Payloads are the OpExtractBatch value payloads, aligned with Keys;
+	// nil on a key-only batch. Decoded Payloads alias the frame buffer.
+	Payloads [][]byte
 	// RetryAfterMillis is the advisory backoff on StatusOverloaded.
 	RetryAfterMillis uint32
 	// Msg is the human-readable detail on StatusBadRequest/StatusBadTenant.
@@ -193,6 +224,24 @@ func AppendRequest(buf []byte, r Request) ([]byte, error) {
 	if r.Op == OpInsertBatch && (len(r.Keys) == 0 || len(r.Keys) > MaxBatchKeys) {
 		return buf, fmt.Errorf("%w: insert batch of %d keys outside [1, %d]", ErrProto, len(r.Keys), MaxBatchKeys)
 	}
+	if r.Op == OpInsert && len(r.Payload) > MaxValueLen {
+		return buf, fmt.Errorf("%w: insert payload of %d bytes exceeds %d", ErrProto, len(r.Payload), MaxValueLen)
+	}
+	if r.Op == OpInsertBatch && r.Payloads != nil {
+		if len(r.Payloads) != len(r.Keys) {
+			return buf, fmt.Errorf("%w: insert batch with %d keys but %d payloads", ErrProto, len(r.Keys), len(r.Payloads))
+		}
+		total := reqFixed + len(r.Tenant) + 4 + 12*len(r.Keys)
+		for _, v := range r.Payloads {
+			if len(v) > MaxValueLen {
+				return buf, fmt.Errorf("%w: batch member payload of %d bytes exceeds %d", ErrProto, len(v), MaxValueLen)
+			}
+			total += len(v)
+		}
+		if total > MaxPayload {
+			return buf, fmt.Errorf("%w: valued insert batch of %d bytes exceeds frame limit %d", ErrProto, total, MaxPayload)
+		}
+	}
 	buf, start := beginFrame(buf)
 	buf = append(buf, r.Op)
 	buf = binary.LittleEndian.AppendUint32(buf, r.ID)
@@ -201,10 +250,18 @@ func AppendRequest(buf []byte, r Request) ([]byte, error) {
 	switch r.Op {
 	case OpInsert:
 		buf = binary.LittleEndian.AppendUint64(buf, r.Key)
+		if r.Payload != nil {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Payload)))
+			buf = append(buf, r.Payload...)
+		}
 	case OpInsertBatch:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Keys)))
-		for _, k := range r.Keys {
+		for i, k := range r.Keys {
 			buf = binary.LittleEndian.AppendUint64(buf, k)
+			if r.Payloads != nil {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Payloads[i])))
+				buf = append(buf, r.Payloads[i]...)
+			}
 		}
 	case OpExtractBatch:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.N))
@@ -225,12 +282,22 @@ func AppendResponse(buf []byte, r Response) []byte {
 	switch r.Status {
 	case StatusOK:
 		switch r.Op {
-		case OpExtractMax, OpLen:
+		case OpExtractMax:
+			buf = binary.LittleEndian.AppendUint64(buf, r.Value)
+			if r.Payload != nil {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Payload)))
+				buf = append(buf, r.Payload...)
+			}
+		case OpLen:
 			buf = binary.LittleEndian.AppendUint64(buf, r.Value)
 		case OpExtractBatch:
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Keys)))
-			for _, k := range r.Keys {
+			for i, k := range r.Keys {
 				buf = binary.LittleEndian.AppendUint64(buf, k)
+				if r.Payloads != nil {
+					buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Payloads[i])))
+					buf = append(buf, r.Payloads[i]...)
+				}
 			}
 		case OpSnapshot:
 			buf = append(buf, r.Blob...)
@@ -259,21 +326,41 @@ func ParseRequest(payload []byte, keyScratch []uint64) (Request, error) {
 	body := payload[reqFixed+tlen:]
 	switch r.Op {
 	case OpInsert:
-		if len(body) != 8 {
-			return Request{}, fmt.Errorf("%w: insert body of %d bytes (want 8)", ErrProto, len(body))
+		switch {
+		case len(body) == 8:
+			r.Key = binary.LittleEndian.Uint64(body)
+		case len(body) >= 12:
+			r.Key = binary.LittleEndian.Uint64(body)
+			vlen := binary.LittleEndian.Uint32(body[8:])
+			if vlen > MaxValueLen || int(vlen) != len(body)-12 {
+				return Request{}, fmt.Errorf("%w: insert payload length %d disagrees with %d body bytes", ErrProto, vlen, len(body))
+			}
+			r.Payload = body[12 : 12+vlen : 12+vlen]
+		default:
+			return Request{}, fmt.Errorf("%w: insert body of %d bytes (want 8 or >= 12)", ErrProto, len(body))
 		}
-		r.Key = binary.LittleEndian.Uint64(body)
 	case OpInsertBatch:
 		if len(body) < 4 {
 			return Request{}, fmt.Errorf("%w: insert-batch body of %d bytes (want >= 4)", ErrProto, len(body))
 		}
 		n := binary.LittleEndian.Uint32(body)
-		if n == 0 || n > MaxBatchKeys || len(body) != 4+8*int(n) {
-			return Request{}, fmt.Errorf("%w: insert-batch count %d disagrees with %d body bytes", ErrProto, n, len(body))
+		if n == 0 || n > MaxBatchKeys {
+			return Request{}, fmt.Errorf("%w: insert-batch count %d outside [1, %d]", ErrProto, n, MaxBatchKeys)
 		}
-		r.Keys = keyScratch[:0]
-		for i := 0; i < int(n); i++ {
-			r.Keys = append(r.Keys, binary.LittleEndian.Uint64(body[4+8*i:]))
+		if len(body) == 4+8*int(n) {
+			// Key-only form: exactly count keys, no length fields. A valued
+			// batch is always longer (each member carries 4 extra bytes),
+			// so the two grammars cannot collide.
+			r.Keys = keyScratch[:0]
+			for i := 0; i < int(n); i++ {
+				r.Keys = append(r.Keys, binary.LittleEndian.Uint64(body[4+8*i:]))
+			}
+			break
+		}
+		var err error
+		r.Keys, r.Payloads, err = parseValuedMembers(body[4:], int(n), keyScratch[:0])
+		if err != nil {
+			return Request{}, fmt.Errorf("%w: insert-batch: %s", ErrProto, err)
 		}
 	case OpExtractBatch:
 		if len(body) != 4 {
@@ -294,6 +381,31 @@ func ParseRequest(payload []byte, keyScratch []uint64) (Request, error) {
 	return r, nil
 }
 
+// parseValuedMembers walks n × (key uint64 LE + vlen uint32 LE + vlen
+// bytes) members covering exactly body, appending keys to keys and
+// returning the aligned payload views (which alias body).
+func parseValuedMembers(body []byte, n int, keys []uint64) ([]uint64, [][]byte, error) {
+	vals := make([][]byte, 0, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		if len(body)-off < 12 {
+			return nil, nil, fmt.Errorf("valued member %d of %d truncated at byte %d", i, n, off)
+		}
+		keys = append(keys, binary.LittleEndian.Uint64(body[off:]))
+		vlen := int(binary.LittleEndian.Uint32(body[off+8:]))
+		off += 12
+		if vlen > MaxValueLen || len(body)-off < vlen {
+			return nil, nil, fmt.Errorf("valued member %d payload length %d does not fit %d remaining bytes", i, vlen, len(body)-off)
+		}
+		vals = append(vals, body[off:off+vlen:off+vlen])
+		off += vlen
+	}
+	if off != len(body) {
+		return nil, nil, fmt.Errorf("%d trailing bytes after %d valued members", len(body)-off, n)
+	}
+	return keys, vals, nil
+}
+
 // ParseResponse decodes a response payload. keyScratch, if non-nil, is
 // reused for batch keys; the returned Response.Keys/Blob/Msg alias the
 // payload or scratch.
@@ -306,7 +418,21 @@ func ParseResponse(payload []byte, keyScratch []uint64) (Response, error) {
 	switch r.Status {
 	case StatusOK:
 		switch r.Op {
-		case OpExtractMax, OpLen:
+		case OpExtractMax:
+			switch {
+			case len(body) == 8:
+				r.Value = binary.LittleEndian.Uint64(body)
+			case len(body) >= 12:
+				r.Value = binary.LittleEndian.Uint64(body)
+				vlen := binary.LittleEndian.Uint32(body[8:])
+				if vlen > MaxValueLen || int(vlen) != len(body)-12 {
+					return Response{}, fmt.Errorf("%w: extract payload length %d disagrees with %d body bytes", ErrProto, vlen, len(body))
+				}
+				r.Payload = body[12 : 12+vlen : 12+vlen]
+			default:
+				return Response{}, fmt.Errorf("%w: extract OK body of %d bytes (want 8 or >= 12)", ErrProto, len(body))
+			}
+		case OpLen:
 			if len(body) != 8 {
 				return Response{}, fmt.Errorf("%w: op %d OK body of %d bytes (want 8)", ErrProto, r.Op, len(body))
 			}
@@ -316,12 +442,20 @@ func ParseResponse(payload []byte, keyScratch []uint64) (Response, error) {
 				return Response{}, fmt.Errorf("%w: extract-batch OK body of %d bytes (want >= 4)", ErrProto, len(body))
 			}
 			n := binary.LittleEndian.Uint32(body)
-			if n > MaxBatchKeys || len(body) != 4+8*int(n) {
-				return Response{}, fmt.Errorf("%w: extract-batch count %d disagrees with %d body bytes", ErrProto, n, len(body))
+			if n > MaxBatchKeys {
+				return Response{}, fmt.Errorf("%w: extract-batch count %d exceeds %d", ErrProto, n, MaxBatchKeys)
 			}
-			r.Keys = keyScratch[:0]
-			for i := 0; i < int(n); i++ {
-				r.Keys = append(r.Keys, binary.LittleEndian.Uint64(body[4+8*i:]))
+			if len(body) == 4+8*int(n) {
+				r.Keys = keyScratch[:0]
+				for i := 0; i < int(n); i++ {
+					r.Keys = append(r.Keys, binary.LittleEndian.Uint64(body[4+8*i:]))
+				}
+				break
+			}
+			var err error
+			r.Keys, r.Payloads, err = parseValuedMembers(body[4:], int(n), keyScratch[:0])
+			if err != nil {
+				return Response{}, fmt.Errorf("%w: extract-batch: %s", ErrProto, err)
 			}
 		case OpSnapshot:
 			r.Blob = body

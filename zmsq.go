@@ -151,17 +151,43 @@ var (
 	ErrDurabilityConflict    = core.ErrDurabilityConflict
 )
 
+// Codec encodes element values for the write-ahead log: attach one via
+// NewDurableCodec/RecoverCodec and every insert's value rides its log
+// record (record format v2), recovering byte-exact after a crash.
+// Without one the queue writes key-only v1 records — bit-identical to
+// the pre-payload format — and recovery restores zero values.
+type Codec[V any] = wal.Codec[V]
+
+// BytesCodec is the identity Codec for Queue[[]byte].
+type BytesCodec = wal.BytesCodec
+
 // NewDurable is New for configurations with Config.Durability set,
 // returning errors (invalid config, log open failure) instead of
-// panicking. Call Queue.CloseWAL after the final drain.
+// panicking. Call Queue.CloseWAL after the final drain. Values are not
+// logged (key-only records); use NewDurableCodec to persist them.
 func NewDurable[V any](cfg Config) (*Queue[V], error) { return core.NewDurable[V](cfg) }
 
+// NewDurableCodec is NewDurable with a value codec: every insert logs
+// its value's encoded bytes alongside the key, and RecoverCodec
+// restores them byte-exactly.
+func NewDurableCodec[V any](cfg Config, codec Codec[V]) (*Queue[V], error) {
+	return core.NewDurableCodec[V](cfg, codec)
+}
+
 // Recover rebuilds a durable queue from cfg.Durability.Dir: snapshot +
-// log replay restore the surviving keys (with zero V values — durability
-// is key-only) and the reopened log is attached so new operations
-// continue the sequence.
+// log replay restore the surviving keys (with zero V values) and the
+// reopened log is attached so new operations continue the sequence. A
+// directory whose records carry value payloads is rejected — use
+// RecoverCodec, which can decode them.
 func Recover[V any](cfg Config) (*Queue[V], *RecoveredState, error) {
 	return core.Recover[V](cfg)
+}
+
+// RecoverCodec is Recover with a value codec: each recovered instance's
+// logged bytes decode back into its V, so the rebuilt queue holds the
+// same (key, value) pairs the crashed one had durably acknowledged.
+func RecoverCodec[V any](cfg Config, codec Codec[V]) (*Queue[V], *RecoveredState, error) {
+	return core.RecoverCodec[V](cfg, codec)
 }
 
 // WALExists reports whether dir holds durable queue state to Recover.
